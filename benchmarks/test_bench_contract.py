@@ -1,0 +1,26 @@
+"""Benchmark: run the full contract checker against both ESSD profiles."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import CheckerConfig, ContractChecker
+from repro.ebs import alibaba_pl3_profile, aws_io2_profile
+from repro.host.io import MiB
+
+
+CONFIG = CheckerConfig(
+    ssd_capacity_bytes=256 * MiB,
+    essd_capacity_bytes=384 * MiB,
+    latency_ios=150,
+    gc_write_capacity_factor=1.6,
+    throughput_window_us=80_000.0,
+)
+
+
+@pytest.mark.parametrize("profile_fn", [aws_io2_profile, alibaba_pl3_profile],
+                         ids=["ESSD-1", "ESSD-2"])
+def test_bench_contract_checker(benchmark, profile_fn):
+    checker = ContractChecker(essd_profile=profile_fn(), config=CONFIG)
+    report = run_once(benchmark, checker.run)
+    assert report.holds, report.summary()
+    print("\n" + report.summary())

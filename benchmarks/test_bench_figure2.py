@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 2 (latency and the ESSD/SSD latency gap)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import DeviceKind, ExperimentScale, run_figure2
+from repro.host.io import KiB
+
+
+def test_bench_figure2_latency_grid(benchmark):
+    result = run_once(
+        benchmark, run_figure2, ExperimentScale.default(),
+        io_sizes=(4 * KiB, 64 * KiB, 256 * KiB),
+        queue_depths=(1, 16),
+        ios_per_cell=200,
+    )
+    # Observation 1: the gap is large when I/Os are small and shallow, and it
+    # shrinks once I/Os are scaled up.
+    for essd in (DeviceKind.ESSD1, DeviceKind.ESSD2):
+        assert result.gap(essd, "randwrite", 4 * KiB, 1) > 8.0
+        assert result.gap(essd, "randwrite", 256 * KiB, 1) \
+            < result.gap(essd, "randwrite", 4 * KiB, 1)
+        assert result.gap(essd, "randread", 4 * KiB, 1) \
+            < result.gap(essd, "read", 4 * KiB, 1)
+    for essd in (DeviceKind.ESSD1, DeviceKind.ESSD2):
+        print("\n" + result.render(essd, "mean"))
+        print("\n" + result.render(essd, "p999"))

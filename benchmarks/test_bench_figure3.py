@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 3 (sustained random writes, GC cliff vs hiding)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import DeviceKind, ExperimentScale, run_figure3
+
+
+def test_bench_figure3_sustained_random_write(benchmark):
+    from repro.host.io import KiB, MiB
+    scale = ExperimentScale(ssd_capacity_bytes=512 * MiB, essd_capacity_bytes=512 * MiB)
+    result = run_once(benchmark, run_figure3, scale,
+                      capacity_factor=3.0, io_size=256 * KiB)
+    ssd = result.results[DeviceKind.SSD]
+    essd1 = result.results[DeviceKind.ESSD1]
+    essd2 = result.results[DeviceKind.ESSD2]
+    # Observation 2: the SSD collapses within ~1x capacity written; ESSD-1
+    # only after its flow-limit threshold (~2.55x); ESSD-2 never.
+    ssd_cliff = ssd.cliff_capacity_factor(drop_fraction=0.6)
+    assert ssd_cliff is not None and ssd_cliff < 1.8
+    essd1_cliff = essd1.cliff_capacity_factor(drop_fraction=0.6)
+    assert essd1_cliff is None or essd1_cliff > 2.0
+    assert essd2.cliff_capacity_factor(drop_fraction=0.6) is None
+    assert essd1.flow_limited
+    assert not essd2.flow_limited
+    print("\n" + result.render())

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 5 (mixed read/write throughput vs write ratio)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import DeviceKind, ExperimentScale, run_figure5
+
+
+def test_bench_figure5_mixed_ratio_throughput(benchmark):
+    result = run_once(benchmark, run_figure5, ExperimentScale.default(),
+                      write_ratios=(0, 25, 50, 75, 100), ios_per_point=800)
+    # Observation 4: the ESSDs sit flat at their budgets across every write
+    # ratio, while the SSD's total throughput moves with the mix.
+    for essd in (DeviceKind.ESSD1, DeviceKind.ESSD2):
+        assert result.determinism_cv(essd) < 0.10
+        assert result.within_budget(essd)
+    assert result.determinism_cv(DeviceKind.SSD) > result.determinism_cv(DeviceKind.ESSD1)
+    print("\n" + result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table I (device configurations)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ExperimentScale, render_table1, run_table1
+
+
+def test_bench_table1(benchmark):
+    rows = run_once(benchmark, run_table1, ExperimentScale.default())
+    assert len(rows) == 3
+    print("\n" + render_table1(rows))

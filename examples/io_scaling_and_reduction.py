@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Implications 1 and 5: batch your I/Os, and reconsider compression on ESSDs.
+
+Part 1 measures the ESSD's latency at several I/O sizes, fits the advisor's
+latency-cost model, and prints the recommended I/O size / queue depth for an
+application currently doing 4 KiB synchronous writes.
+
+Part 2 evaluates an lz4-like and a zstd-like compressor on both the local SSD
+and the ESSD, showing that the CPU cost that hurts on the local SSD is
+irrelevant on the ESSD -- where it also shrinks the throughput budget needed.
+
+Usage::
+
+    python examples/io_scaling_and_reduction.py
+"""
+
+from repro.ebs import EssdDevice, aws_io2_profile
+from repro.host.io import KiB, MiB
+from repro.implications import IoReductionEvaluator, IoScalingAdvisor
+from repro.implications.reduction import (
+    DENSE_COMPRESSION,
+    FAST_COMPRESSION,
+    DeviceLatencyModel,
+)
+from repro.sim import Simulator
+from repro.workload import FioJob, run_job
+
+
+def measure_latency_curve(profile, sizes):
+    """Mean write latency (us) at each I/O size, measured on a fresh volume."""
+    curve = []
+    for io_size in sizes:
+        sim = Simulator()
+        device = EssdDevice(sim, profile)
+        job = FioJob(name="curve", pattern="randwrite", io_size=io_size,
+                     queue_depth=1, io_count=150)
+        result = run_job(sim, device, job)
+        curve.append((io_size, result.latency.mean()))
+        print(f"  {io_size // KiB:>4d} KiB -> {result.latency.mean():7.1f} us")
+    return curve
+
+
+def main() -> None:
+    profile = aws_io2_profile(512 * MiB)
+
+    print("Part 1 -- Implication 1: scale I/Os up")
+    print("Measured ESSD-1 write latency vs I/O size (QD1):")
+    curve = measure_latency_curve(profile, (4 * KiB, 32 * KiB, 128 * KiB, 256 * KiB))
+    advisor = IoScalingAdvisor.from_measurements(
+        curve, throughput_budget_gbps=profile.max_throughput_gbps)
+    recommendation = advisor.recommend(current_io_size=4 * KiB, current_queue_depth=1,
+                                       target_efficiency=0.5,
+                                       latency_ceiling_us=2_000.0)
+    print(f"Fitted cost model: {advisor.model.fixed_us:.0f} us fixed + "
+          f"{advisor.model.bytes_per_us:.0f} B/us streaming")
+    print("Recommendation:", recommendation.describe())
+
+    print("\nPart 2 -- Implication 5: re-evaluate I/O reduction")
+    essd_eval = IoReductionEvaluator(
+        DeviceLatencyModel("ESSD-1", base_latency_us=advisor.model.fixed_us,
+                           per_kib_us=1024 / advisor.model.bytes_per_us,
+                           throughput_budget_gbps=profile.max_throughput_gbps),
+        io_size=16 * KiB)
+    ssd_eval = IoReductionEvaluator(
+        DeviceLatencyModel("local SSD", base_latency_us=9.0, per_kib_us=0.38),
+        io_size=16 * KiB)
+
+    for technique in (FAST_COMPRESSION, DENSE_COMPRESSION):
+        essd_result, ssd_result = essd_eval.compare_devices(
+            technique, ssd_eval, offered_load_gbps=2.0)
+        print(f"\n  {technique.name} (ratio {technique.reduction_ratio:.2f}):")
+        for outcome in (ssd_result, essd_result):
+            verdict = "adopt" if outcome.recommended else "skip"
+            budget = ("" if outcome.budget_saving_gbps is None
+                      else f", budget saving {outcome.budget_saving_gbps:.2f} GB/s")
+            print(f"    {outcome.device:10s} latency {outcome.baseline_latency_us:7.1f}"
+                  f" -> {outcome.reduced_latency_us:7.1f} us "
+                  f"({outcome.latency_change:+.1%}){budget}  => {verdict}")
+
+
+if __name__ == "__main__":
+    main()

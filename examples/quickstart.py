@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the three devices of the paper and print the contract.
+
+Runs a small FIO-style workload against the local SSD and the two ESSD
+profiles, prints the latency gap (Observation 1 in miniature), and then runs
+the contract checker for ESSD-1.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ContractChecker,
+    EssdDevice,
+    FioJob,
+    Simulator,
+    SsdDevice,
+    UNWRITTEN_CONTRACT,
+    alibaba_pl3_profile,
+    aws_io2_profile,
+    run_job,
+    samsung_970pro_profile,
+)
+from repro.core import CheckerConfig
+from repro.host.io import KiB, MiB
+
+
+def measure(device_name: str, make_device, pattern: str, io_size: int,
+            queue_depth: int) -> float:
+    """Run a short job on a fresh device and return its mean latency (us)."""
+    sim = Simulator()
+    device = make_device(sim)
+    device.preload()
+    job = FioJob(name="demo", pattern=pattern, io_size=io_size,
+                 queue_depth=queue_depth, io_count=200)
+    result = run_job(sim, device, job)
+    print(f"  {device_name:8s} {pattern:10s} {io_size // KiB:>4d}KiB QD{queue_depth:<2d} "
+          f"mean {result.latency.mean():8.1f} us   P99.9 {result.latency.p999():9.1f} us   "
+          f"{result.throughput_gbps:5.2f} GB/s")
+    return result.latency.mean()
+
+
+def main() -> None:
+    print(UNWRITTEN_CONTRACT.describe())
+    print()
+
+    devices = {
+        "SSD": lambda sim: SsdDevice(sim, samsung_970pro_profile(256 * MiB)),
+        "ESSD-1": lambda sim: EssdDevice(sim, aws_io2_profile(512 * MiB)),
+        "ESSD-2": lambda sim: EssdDevice(sim, alibaba_pl3_profile(512 * MiB)),
+    }
+
+    print("Small unscaled I/Os (4 KiB, QD1) -- the latency gap at its worst:")
+    small = {name: measure(name, make, "randwrite", 4 * KiB, 1)
+             for name, make in devices.items()}
+    print("Scaled-up I/Os (256 KiB, QD8) -- the gap shrinks:")
+    large = {name: measure(name, make, "randwrite", 256 * KiB, 8)
+             for name, make in devices.items()}
+
+    for essd in ("ESSD-1", "ESSD-2"):
+        print(f"  {essd}: latency gap {small[essd] / small['SSD']:.1f}x at 4KiB/QD1 "
+              f"-> {large[essd] / large['SSD']:.1f}x at 256KiB/QD8")
+
+    print("\nRunning the contract checker against ESSD-1 (this takes a minute)...")
+    checker = ContractChecker(config=CheckerConfig(
+        ssd_capacity_bytes=128 * MiB,
+        essd_capacity_bytes=256 * MiB,
+        latency_ios=150,
+        gc_write_capacity_factor=1.5,
+        throughput_window_us=80_000.0,
+    ))
+    report = checker.run()
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro: reproduction of "The Unwritten Contract of Cloud-based Elastic SSDs".
+
+The package contains:
+
+* :mod:`repro.sim` -- the discrete-event simulation kernel.
+* :mod:`repro.flash`, :mod:`repro.ssd` -- the local flash SSD substrate.
+* :mod:`repro.ebs` -- the elastic block storage / ESSD substrate.
+* :mod:`repro.host`, :mod:`repro.workload`, :mod:`repro.metrics` -- the host
+  I/O stack, FIO-like workload generation, and measurement utilities.
+* :mod:`repro.core` -- the unwritten contract and its checker (the paper's
+  primary contribution).
+* :mod:`repro.implications` -- advisors implementing the five implications.
+* :mod:`repro.experiments` -- the harness regenerating Table I and
+  Figures 2-5.
+"""
+
+from repro.core import UNWRITTEN_CONTRACT, ContractChecker
+from repro.ebs import EssdDevice, alibaba_pl3_profile, aws_io2_profile
+from repro.host import BlockDevice, IOKind, IORequest
+from repro.sim import Simulator
+from repro.ssd import SsdDevice, samsung_970pro_profile
+from repro.workload import FioJob, run_job
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "BlockDevice",
+    "IOKind",
+    "IORequest",
+    "SsdDevice",
+    "samsung_970pro_profile",
+    "EssdDevice",
+    "aws_io2_profile",
+    "alibaba_pl3_profile",
+    "FioJob",
+    "run_job",
+    "UNWRITTEN_CONTRACT",
+    "ContractChecker",
+]

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the unwritten contract and its checker.
+
+* :data:`UNWRITTEN_CONTRACT` -- the four observations and five implications.
+* :class:`ContractChecker` -- runs targeted characterization experiments
+  against simulated devices and attaches quantitative evidence to each
+  observation.
+* :mod:`repro.implications` -- advisors that turn each implication into an
+  actionable, quantitative recommendation for a given workload.
+"""
+
+from repro.core.contract import (
+    IMPLICATIONS,
+    OBSERVATIONS,
+    UNWRITTEN_CONTRACT,
+    Implication,
+    Observation,
+    ObservationEvidence,
+    UnwrittenContract,
+)
+from repro.core.checker import CheckerConfig, ContractChecker, ContractReport
+
+__all__ = [
+    "UNWRITTEN_CONTRACT",
+    "OBSERVATIONS",
+    "IMPLICATIONS",
+    "Observation",
+    "Implication",
+    "ObservationEvidence",
+    "UnwrittenContract",
+    "ContractChecker",
+    "ContractReport",
+    "CheckerConfig",
+]

@@ -1,0 +1,35 @@
+"""Elastic block storage (EBS) and the elastic SSD (ESSD) device model.
+
+The package models the storage-compute disaggregated architecture of cloud
+block storage: a virtual block device in the user VM, a datacenter network,
+and a storage cluster of nodes across which the volume's chunks are
+distributed and replicated.  Provider-side QoS (throughput/IOPS budgets) and
+flow limiting complete the picture.
+
+Two calibrated profiles correspond to the paper's devices:
+:data:`AWS_IO2_PROFILE` (ESSD-1) and :data:`ALIBABA_PL3_PROFILE` (ESSD-2).
+"""
+
+from repro.ebs.config import (
+    ALIBABA_PL3_PROFILE,
+    AWS_IO2_PROFILE,
+    EssdProfile,
+    NetworkProfile,
+    NodeProfile,
+    QosProfile,
+    alibaba_pl3_profile,
+    aws_io2_profile,
+)
+from repro.ebs.essd import EssdDevice
+
+__all__ = [
+    "EssdDevice",
+    "EssdProfile",
+    "NetworkProfile",
+    "NodeProfile",
+    "QosProfile",
+    "aws_io2_profile",
+    "alibaba_pl3_profile",
+    "AWS_IO2_PROFILE",
+    "ALIBABA_PL3_PROFILE",
+]

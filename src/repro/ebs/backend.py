@@ -1,0 +1,88 @@
+"""Provider-side space management: GC hiding and flow limiting.
+
+The storage cluster absorbs the volume's writes into a distributed,
+append-only backend and reclaims space in the background using resources the
+tenant never sees -- which is why the classic device-level GC cliff
+"appears much later or even disappears" on an ESSD (the paper's
+Observation 2).  What the tenant *can* eventually observe is the provider's
+own protection mechanism: once the cumulative write volume crosses an
+internal credit threshold, writes are flow-limited to a low, flat rate
+(observed for ESSD-1 at roughly 2.55x the volume capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.ebs.qos import QosManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ebs.config import EssdProfile
+    from repro.sim import Simulator
+
+
+@dataclass
+class BackendStats:
+    """Cumulative backend accounting for one volume."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    background_reclaim_bytes: int = 0
+    flow_limit_engaged_at_us: Optional[float] = None
+    flow_limit_engaged_at_bytes: Optional[int] = None
+    events: list = field(default_factory=list)
+
+
+class ElasticBackend:
+    """Tracks cumulative traffic and decides when to engage flow limiting."""
+
+    def __init__(self, sim: "Simulator", profile: "EssdProfile", qos: QosManager):
+        self.sim = sim
+        self.profile = profile
+        self.qos = qos
+        self.stats = BackendStats()
+        if profile.flow_limit_after_capacity_factor is None:
+            self._flow_limit_threshold: Optional[int] = None
+        else:
+            self._flow_limit_threshold = int(
+                profile.flow_limit_after_capacity_factor * profile.capacity_bytes)
+
+    # -- accounting ------------------------------------------------------------
+    @property
+    def written_capacity_factor(self) -> float:
+        """Cumulative writes expressed as a multiple of the volume capacity."""
+        return self.stats.bytes_written / self.profile.capacity_bytes
+
+    @property
+    def flow_limit_threshold_bytes(self) -> Optional[int]:
+        return self._flow_limit_threshold
+
+    def record_read(self, num_bytes: int) -> None:
+        self.stats.bytes_read += num_bytes
+
+    def record_write(self, num_bytes: int) -> None:
+        """Account a completed host write and engage flow limiting if due."""
+        self.stats.bytes_written += num_bytes
+        # The provider reclaims superseded data in the background with spare
+        # cluster resources; model it as instantaneous from the tenant's
+        # perspective (it never competes with foreground I/O).
+        self.stats.background_reclaim_bytes += num_bytes
+        if (self._flow_limit_threshold is not None
+                and not self.qos.flow_limited
+                and self.stats.bytes_written >= self._flow_limit_threshold):
+            self.qos.engage_write_limit(self.profile.flow_limited_write_bytes_per_us)
+            self.stats.flow_limit_engaged_at_us = self.sim.now
+            self.stats.flow_limit_engaged_at_bytes = self.stats.bytes_written
+            self.stats.events.append(
+                ("flow-limit-engaged", self.sim.now, self.stats.bytes_written))
+
+    def describe(self) -> dict:
+        """Summary used in experiment reports."""
+        return {
+            "bytes_written": self.stats.bytes_written,
+            "bytes_read": self.stats.bytes_read,
+            "written_capacity_factor": round(self.written_capacity_factor, 3),
+            "flow_limited": self.qos.flow_limited,
+            "flow_limit_engaged_at_bytes": self.stats.flow_limit_engaged_at_bytes,
+        }

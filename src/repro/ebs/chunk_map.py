@@ -1,0 +1,91 @@
+"""Mapping from the volume's logical address space to placement groups.
+
+The volume is divided into fixed-size *chunks*.  Each chunk is assigned a
+*placement group*: an ordered list of ``replication_factor`` distinct storage
+nodes chosen by a deterministic pseudo-random hash of the chunk index.  The
+first node of the group acts as the read preference (reads round-robin over
+the group to spread load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Knuth's multiplicative hash constant, used for deterministic placement.
+_HASH_MULTIPLIER = 2654435761
+
+
+@dataclass(frozen=True)
+class SubRequest:
+    """A chunk-aligned piece of a host request."""
+
+    chunk_index: int
+    offset_in_chunk: int
+    size: int
+
+
+class ChunkMap:
+    """Chunk-granular placement of a volume over a storage cluster."""
+
+    def __init__(self, capacity_bytes: int, chunk_size: int,
+                 num_nodes: int, replication_factor: int, seed: int = 0):
+        if chunk_size <= 0 or capacity_bytes <= 0:
+            raise ValueError("capacity and chunk size must be positive")
+        if replication_factor > num_nodes:
+            raise ValueError("replication factor cannot exceed the node count")
+        self.capacity_bytes = capacity_bytes
+        self.chunk_size = chunk_size
+        self.num_nodes = num_nodes
+        self.replication_factor = replication_factor
+        self.seed = seed
+        self.num_chunks = -(-capacity_bytes // chunk_size)
+
+    # -- placement -------------------------------------------------------------
+    def chunk_of(self, offset: int) -> int:
+        """Chunk index containing byte ``offset``."""
+        if not 0 <= offset < self.capacity_bytes:
+            raise ValueError(f"offset {offset} outside the volume")
+        return offset // self.chunk_size
+
+    def placement_group(self, chunk_index: int) -> tuple[int, ...]:
+        """The ordered node ids storing replicas of ``chunk_index``."""
+        if not 0 <= chunk_index < self.num_chunks:
+            raise ValueError(f"chunk {chunk_index} out of range")
+        start = ((chunk_index + self.seed) * _HASH_MULTIPLIER) % self.num_nodes
+        stride = 1 + (((chunk_index + self.seed) * 40503) % (self.num_nodes - 1)) \
+            if self.num_nodes > self.replication_factor else 1
+        group = []
+        node = start
+        while len(group) < self.replication_factor:
+            if node % self.num_nodes not in group:
+                group.append(node % self.num_nodes)
+            node += stride
+        return tuple(group)
+
+    def read_replica(self, chunk_index: int, salt: int = 0) -> int:
+        """Pick one replica of the chunk to serve a read (load spreading)."""
+        group = self.placement_group(chunk_index)
+        return group[salt % len(group)]
+
+    # -- request splitting ---------------------------------------------------------
+    def split(self, offset: int, size: int) -> list[SubRequest]:
+        """Split a host request into chunk-aligned sub-requests."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if offset < 0 or offset + size > self.capacity_bytes:
+            raise ValueError("request outside the volume")
+        subrequests = []
+        position = offset
+        remaining = size
+        while remaining > 0:
+            chunk_index = position // self.chunk_size
+            offset_in_chunk = position - chunk_index * self.chunk_size
+            take = min(remaining, self.chunk_size - offset_in_chunk)
+            subrequests.append(SubRequest(chunk_index, offset_in_chunk, take))
+            position += take
+            remaining -= take
+        return subrequests
+
+    def chunks_touched(self, offset: int, size: int) -> int:
+        """Number of distinct chunks a request spans."""
+        return len(self.split(offset, size))

@@ -1,0 +1,96 @@
+"""A storage-cluster node as observed by a single volume.
+
+Each node bounds the concurrency it grants the volume and the aggregate
+bandwidth it serves, and charges fixed software-path and media latencies per
+request.  Sequential writes that concentrate on one placement group are
+therefore limited by a handful of nodes, while random writes spread over the
+whole cluster -- the mechanism behind the paper's Observation 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.ebs.config import NodeProfile
+from repro.sim.resources import Resource, TokenBucket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Simulator
+
+
+@dataclass
+class StorageNodeStats:
+    """Per-node service counters."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time_us: float = 0.0
+
+
+class StorageNode:
+    """One backend storage server (its SSDs aggregated behind one service)."""
+
+    def __init__(self, sim: "Simulator", node_id: int, profile: NodeProfile):
+        self.sim = sim
+        self.node_id = node_id
+        self.profile = profile
+        self._slots = Resource(sim, capacity=profile.concurrency)
+        self._bandwidth = TokenBucket(
+            sim, rate=profile.bandwidth_bytes_per_us,
+            capacity=max(4 * 1024 * 1024, profile.bandwidth_bytes_per_us * 500))
+        self.stats = StorageNodeStats()
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a service slot on this node."""
+        return self._slots.queue_length
+
+    @property
+    def in_service(self) -> int:
+        return self._slots.users
+
+    def write(self, num_bytes: int):
+        """Generator: service one replica write of ``num_bytes``.
+
+        Small writes are charged at least ``min_charge_bytes`` against the
+        node's bandwidth budget (append-log record granularity).
+        """
+        start = self.sim.now
+        charge = max(num_bytes, self.profile.min_charge_bytes)
+        yield self._slots.request()
+        try:
+            yield self._bandwidth.consume(charge)
+            yield self.sim.timeout(self.profile.write_processing_us
+                                   + self.profile.media_write_us)
+        finally:
+            self._slots.release()
+        self.stats.writes += 1
+        self.stats.bytes_written += num_bytes
+        self.stats.busy_time_us += self.sim.now - start
+
+    def read(self, num_bytes: int, sequential: bool = False):
+        """Generator: service one read of ``num_bytes``.
+
+        ``sequential`` selects the cheaper software path used when the node
+        recognises a sequential stream (server-side readahead).
+        """
+        start = self.sim.now
+        if sequential:
+            # Server-side readahead: the data is already staged in the node's
+            # memory, so only the (cheaper) sequential software path is paid.
+            processing = self.profile.seq_read_processing_us
+        else:
+            processing = self.profile.read_processing_us + self.profile.media_read_us
+        streaming = num_bytes / self.profile.media_read_bytes_per_us
+        yield self._slots.request()
+        try:
+            yield self._bandwidth.consume(num_bytes)
+            yield self.sim.timeout(processing + streaming)
+        finally:
+            self._slots.release()
+        self.stats.reads += 1
+        self.stats.bytes_read += num_bytes
+        self.stats.busy_time_us += self.sim.now - start

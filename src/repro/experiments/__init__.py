@@ -1,0 +1,33 @@
+"""Reproduction of the paper's evaluation section: Table I and Figures 2-5.
+
+Each module regenerates one artifact; :func:`run_all` runs everything and
+renders a combined text report.  See DESIGN.md for the per-experiment index
+and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from repro.experiments.common import DeviceKind, ExperimentScale, build_device, measure_cell
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.runner import EvaluationReport, run_all
+from repro.experiments.table1 import render_table1, run_table1
+
+__all__ = [
+    "DeviceKind",
+    "ExperimentScale",
+    "build_device",
+    "measure_cell",
+    "run_table1",
+    "render_table1",
+    "run_figure2",
+    "Figure2Result",
+    "run_figure3",
+    "Figure3Result",
+    "run_figure4",
+    "Figure4Result",
+    "run_figure5",
+    "Figure5Result",
+    "run_all",
+    "EvaluationReport",
+]

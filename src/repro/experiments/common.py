@@ -1,0 +1,92 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+Every experiment builds its devices through :class:`ExperimentScale`, which
+fixes the (scaled) capacities and keeps the paper's 1:2 SSD:ESSD capacity
+ratio, and measures workloads with :func:`measure_cell` -- one FIO-style job
+with a bounded I/O count, so experiment cost stays predictable regardless of
+how fast a configuration happens to be.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ebs import EssdDevice, alibaba_pl3_profile, aws_io2_profile
+from repro.host.io import GiB, MiB
+from repro.sim import Simulator
+from repro.ssd import SsdDevice, samsung_970pro_profile
+from repro.workload.fio import FioJob, JobResult, run_job
+
+
+class DeviceKind(enum.Enum):
+    """The three devices of the paper's Table I."""
+
+    SSD = "SSD"
+    ESSD1 = "ESSD-1"
+    ESSD2 = "ESSD-2"
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaled device capacities (paper: SSD 1 TB, ESSDs 2 TB -- ratio kept)."""
+
+    ssd_capacity_bytes: int = 512 * MiB
+    essd_capacity_bytes: int = 1 * GiB
+
+    @classmethod
+    def small(cls) -> "ExperimentScale":
+        """Fast scale for unit tests."""
+        return cls(ssd_capacity_bytes=256 * MiB, essd_capacity_bytes=512 * MiB)
+
+    @classmethod
+    def default(cls) -> "ExperimentScale":
+        """Default scale used by the benchmark harness."""
+        return cls()
+
+    @classmethod
+    def large(cls) -> "ExperimentScale":
+        """Closer-to-paper scale (slower; used for Figure 3's GC study)."""
+        return cls(ssd_capacity_bytes=1 * GiB, essd_capacity_bytes=2 * GiB)
+
+    def capacity_of(self, kind: DeviceKind) -> int:
+        return self.ssd_capacity_bytes if kind is DeviceKind.SSD \
+            else self.essd_capacity_bytes
+
+
+def build_device(sim: Simulator, kind: DeviceKind,
+                 scale: Optional[ExperimentScale] = None):
+    """Instantiate one of the paper's three devices on ``sim``."""
+    scale = scale or ExperimentScale.default()
+    if kind is DeviceKind.SSD:
+        return SsdDevice(sim, samsung_970pro_profile(scale.ssd_capacity_bytes), name="SSD")
+    if kind is DeviceKind.ESSD1:
+        return EssdDevice(sim, aws_io2_profile(scale.essd_capacity_bytes))
+    if kind is DeviceKind.ESSD2:
+        return EssdDevice(sim, alibaba_pl3_profile(scale.essd_capacity_bytes))
+    raise ValueError(f"unknown device kind: {kind}")
+
+
+def measure_cell(kind: DeviceKind, job: FioJob,
+                 scale: Optional[ExperimentScale] = None,
+                 preload: bool = True) -> JobResult:
+    """Run one (device, job) cell on a fresh simulator and return its result."""
+    sim = Simulator()
+    device = build_device(sim, kind, scale)
+    if preload:
+        device.preload()
+    return run_job(sim, device, job)
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a plain-text table (used by every experiment's ``render``)."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells):
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+    lines = [render_row(headers), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

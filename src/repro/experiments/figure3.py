@@ -1,0 +1,126 @@
+"""Figure 3: runtime throughput under a sustained random-write flood.
+
+The paper writes 3x each device's capacity with random writes and plots
+throughput over time: the local SSD collapses once ~90% of its capacity has
+been written (device GC), ESSD-1 only degrades after ~2.55x its capacity
+(provider flow limiting), and ESSD-2 sustains its budget throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    DeviceKind,
+    ExperimentScale,
+    build_device,
+    format_table,
+)
+from repro.host.io import KiB
+from repro.sim import Simulator
+from repro.workload.fio import FioJob, run_job
+
+
+@dataclass
+class SustainedWriteResult:
+    """Throughput-over-written-volume series for one device."""
+
+    device: DeviceKind
+    capacity_bytes: int
+    #: (cumulative bytes written, GB/s over the bin) samples.
+    series: list[tuple[int, float]] = field(default_factory=list)
+    peak_gbps: float = 0.0
+    final_gbps: float = 0.0
+    write_amplification: Optional[float] = None
+    flow_limited: bool = False
+
+    def cliff_capacity_factor(self, drop_fraction: float = 0.5) -> Optional[float]:
+        """Written-volume multiple of capacity at which throughput first drops
+        below ``drop_fraction`` of its peak (``None`` = no such drop)."""
+        if not self.series:
+            return None
+        threshold = self.peak_gbps * drop_fraction
+        for written, gbps in self.series:
+            if gbps < threshold and written > self.capacity_bytes // 4:
+                return written / self.capacity_bytes
+        return None
+
+    def sustained_fraction(self) -> float:
+        """Fraction of the written volume completed at >= 80% of peak throughput."""
+        if not self.series or self.peak_gbps == 0:
+            return 0.0
+        good = sum(1 for _, gbps in self.series if gbps >= 0.8 * self.peak_gbps)
+        return good / len(self.series)
+
+
+@dataclass
+class Figure3Result:
+    """Results for all devices in the sustained-write experiment."""
+
+    results: dict[DeviceKind, SustainedWriteResult] = field(default_factory=dict)
+    capacity_factor: float = 3.0
+
+    def render(self) -> str:
+        headers = ["Device", "Peak GB/s", "Final GB/s", "Cliff (x capacity)",
+                   "Sustained@80%", "WA", "Flow limited"]
+        rows = []
+        for device, result in self.results.items():
+            cliff = result.cliff_capacity_factor()
+            rows.append([
+                device.value,
+                f"{result.peak_gbps:.2f}",
+                f"{result.final_gbps:.2f}",
+                "none" if cliff is None else f"{cliff:.2f}x",
+                f"{result.sustained_fraction():.0%}",
+                "-" if result.write_amplification is None
+                else f"{result.write_amplification:.2f}",
+                "yes" if result.flow_limited else "no",
+            ])
+        return ("Sustained random write of "
+                f"{self.capacity_factor:.1f}x capacity (Figure 3)\n"
+                + format_table(headers, rows))
+
+
+def run_figure3(scale: Optional[ExperimentScale] = None,
+                capacity_factor: float = 3.0,
+                io_size: int = 128 * KiB,
+                queue_depth: int = 32,
+                bin_us: float = 100_000.0,
+                devices: Sequence[DeviceKind] = (DeviceKind.SSD, DeviceKind.ESSD1,
+                                                 DeviceKind.ESSD2)) -> Figure3Result:
+    """Run the sustained random-write experiment for each device."""
+    scale = scale or ExperimentScale.default()
+    figure = Figure3Result(capacity_factor=capacity_factor)
+    for kind in devices:
+        sim = Simulator()
+        device = build_device(sim, kind, scale)
+        capacity = device.capacity_bytes
+        job = FioJob(
+            name=f"fig3-{kind.value}",
+            pattern="randwrite",
+            io_size=io_size,
+            queue_depth=queue_depth,
+            total_bytes=int(capacity_factor * capacity),
+            seed=29,
+        )
+        measured = run_job(sim, device, job)
+        samples = measured.timeline.binned(bin_us)
+        series = []
+        written = 0
+        for sample in samples:
+            written += sample.bytes_completed
+            series.append((written, sample.gigabytes_per_second))
+        result = SustainedWriteResult(
+            device=kind,
+            capacity_bytes=capacity,
+            series=series,
+            peak_gbps=max((gbps for _, gbps in series), default=0.0),
+            final_gbps=series[-1][1] if series else 0.0,
+        )
+        if hasattr(device, "write_amplification"):
+            result.write_amplification = device.write_amplification
+        if hasattr(device, "flow_limited"):
+            result.flow_limited = device.flow_limited
+        figure.results[kind] = result
+    return figure

@@ -1,0 +1,120 @@
+"""Figure 5: throughput under mixed read/write workloads (throughput budget).
+
+The paper sweeps the write ratio from 0% (pure random read) to 100% (pure
+random write) and shows that each ESSD's total throughput sits flat at its
+purchased budget while the local SSD's varies with the mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.ebs import alibaba_pl3_profile, aws_io2_profile
+from repro.experiments.common import (
+    DeviceKind,
+    ExperimentScale,
+    format_table,
+    measure_cell,
+)
+from repro.host.io import KiB
+from repro.metrics.stats import coefficient_of_variation
+from repro.workload.fio import FioJob
+
+DEFAULT_WRITE_RATIOS = (0, 25, 50, 75, 100)
+
+
+@dataclass(frozen=True)
+class MixedRatioPoint:
+    """Total and write throughput at one write ratio."""
+
+    device: DeviceKind
+    write_ratio_percent: int
+    total_gbps: float
+    write_gbps: float
+    read_gbps: float
+
+
+@dataclass
+class Figure5Result:
+    """Throughput-versus-write-ratio series for each device."""
+
+    points: list[MixedRatioPoint] = field(default_factory=list)
+    budgets_gbps: dict[DeviceKind, float] = field(default_factory=dict)
+
+    def series(self, device: DeviceKind) -> list[MixedRatioPoint]:
+        return sorted((p for p in self.points if p.device is device),
+                      key=lambda p: p.write_ratio_percent)
+
+    def total_series(self, device: DeviceKind) -> list[float]:
+        return [p.total_gbps for p in self.series(device)]
+
+    def determinism_cv(self, device: DeviceKind) -> float:
+        """Coefficient of variation of total throughput across write ratios."""
+        return coefficient_of_variation(self.total_series(device))
+
+    def within_budget(self, device: DeviceKind, tolerance: float = 0.08) -> bool:
+        """Whether every measured point is at or below the purchased budget."""
+        budget = self.budgets_gbps.get(device)
+        if budget is None:
+            return True
+        return all(p.total_gbps <= budget * (1 + tolerance) for p in self.series(device))
+
+    def render(self) -> str:
+        headers = ["Device"] + [f"{ratio}% wr" for ratio in
+                                sorted({p.write_ratio_percent for p in self.points})]
+        rows = []
+        for device in (DeviceKind.ESSD1, DeviceKind.ESSD2, DeviceKind.SSD):
+            series = self.series(device)
+            if not series:
+                continue
+            rows.append([device.value] + [f"{p.total_gbps:.2f}" for p in series])
+        note = ", ".join(
+            f"{device.value} CV={self.determinism_cv(device):.3f}"
+            for device in (DeviceKind.ESSD1, DeviceKind.ESSD2, DeviceKind.SSD)
+            if self.series(device))
+        return ("Total throughput (GB/s) vs write ratio (Figure 5)\n"
+                + format_table(headers, rows) + f"\nDeterminism: {note}")
+
+
+def run_figure5(scale: Optional[ExperimentScale] = None,
+                write_ratios: Sequence[int] = DEFAULT_WRITE_RATIOS,
+                io_size: int = 128 * KiB,
+                queue_depth: int = 32,
+                ios_per_point: int = 1200,
+                devices: Sequence[DeviceKind] = (DeviceKind.ESSD1, DeviceKind.ESSD2,
+                                                 DeviceKind.SSD)) -> Figure5Result:
+    """Measure throughput across write ratios for each device."""
+    scale = scale or ExperimentScale.default()
+    result = Figure5Result()
+    result.budgets_gbps = {
+        DeviceKind.ESSD1: aws_io2_profile(scale.essd_capacity_bytes).max_throughput_gbps,
+        DeviceKind.ESSD2: alibaba_pl3_profile(scale.essd_capacity_bytes).max_throughput_gbps,
+    }
+    for device in devices:
+        for ratio in write_ratios:
+            if ratio == 0:
+                pattern, write_ratio = "randread", None
+            elif ratio == 100:
+                pattern, write_ratio = "randwrite", None
+            else:
+                pattern, write_ratio = "randrw", ratio / 100.0
+            job = FioJob(
+                name=f"fig5-{device.value}-{ratio}",
+                pattern=pattern,
+                io_size=io_size,
+                queue_depth=queue_depth,
+                write_ratio=write_ratio,
+                io_count=max(ios_per_point, queue_depth * 30),
+                ramp_ios=queue_depth,
+                seed=57,
+            )
+            measured = measure_cell(device, job, scale, preload=True)
+            result.points.append(MixedRatioPoint(
+                device=device,
+                write_ratio_percent=ratio,
+                total_gbps=measured.throughput_gbps,
+                write_gbps=measured.write_throughput_gbps,
+                read_gbps=measured.read_throughput_gbps,
+            ))
+    return result

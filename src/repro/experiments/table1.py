@@ -1,0 +1,83 @@
+"""Table I: the configurations of the two ESSDs and the local SSD."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ebs import alibaba_pl3_profile, aws_io2_profile
+from repro.experiments.common import DeviceKind, ExperimentScale, format_table
+from repro.host.io import GiB
+from repro.ssd import samsung_970pro_profile
+
+
+@dataclass(frozen=True)
+class DeviceConfigRow:
+    """One row of Table I."""
+
+    device: str
+    provider_and_type: str
+    max_bandwidth_gbps: float
+    max_iops: str
+    capacity_bytes: int
+    vm_type: str
+    region: str
+
+
+def run_table1(scale: ExperimentScale | None = None) -> list[DeviceConfigRow]:
+    """Build the rows of Table I from the shipped device profiles."""
+    scale = scale or ExperimentScale.default()
+    essd1 = aws_io2_profile(scale.essd_capacity_bytes)
+    essd2 = alibaba_pl3_profile(scale.essd_capacity_bytes)
+    ssd = samsung_970pro_profile(scale.ssd_capacity_bytes)
+    rows = [
+        DeviceConfigRow(
+            device=DeviceKind.ESSD1.value,
+            provider_and_type=f"{essd1.provider} {essd1.volume_type}",
+            max_bandwidth_gbps=round(essd1.max_throughput_gbps, 1),
+            max_iops=_format_iops(essd1.advertised_max_iops or essd1.qos.max_iops),
+            capacity_bytes=essd1.capacity_bytes,
+            vm_type=essd1.vm_type,
+            region=essd1.region,
+        ),
+        DeviceConfigRow(
+            device=DeviceKind.ESSD2.value,
+            provider_and_type=f"{essd2.provider} {essd2.volume_type}",
+            max_bandwidth_gbps=round(essd2.max_throughput_gbps, 1),
+            max_iops=_format_iops(essd2.advertised_max_iops or essd2.qos.max_iops),
+            capacity_bytes=essd2.capacity_bytes,
+            vm_type=essd2.vm_type,
+            region=essd2.region,
+        ),
+        DeviceConfigRow(
+            device=DeviceKind.SSD.value,
+            provider_and_type="Samsung 970 Pro (simulated)",
+            max_bandwidth_gbps=3.5,
+            max_iops="500K",
+            capacity_bytes=ssd.capacity_bytes,
+            vm_type="-",
+            region="-",
+        ),
+    ]
+    return rows
+
+
+def render_table1(rows: list[DeviceConfigRow]) -> str:
+    """Plain-text rendering of Table I."""
+    headers = ["Device", "Provider and Type", "Max BW (GB/s)", "Max IOPS",
+               "Capacity", "VM Type", "Region"]
+    body = [[row.device, row.provider_and_type, f"{row.max_bandwidth_gbps:.1f}",
+             row.max_iops, _format_capacity(row.capacity_bytes), row.vm_type, row.region]
+            for row in rows]
+    return format_table(headers, body)
+
+
+def _format_iops(iops: float) -> str:
+    if iops >= 1000:
+        return f"{iops / 1000:.1f}K".replace(".0K", "K")
+    return f"{iops:.0f}"
+
+
+def _format_capacity(capacity: int) -> str:
+    if capacity >= GiB:
+        return f"{capacity / GiB:.1f} GiB (scaled)"
+    return f"{capacity / (1 << 20):.0f} MiB (scaled)"

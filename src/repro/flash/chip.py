@@ -1,0 +1,147 @@
+"""Die-level flash command execution.
+
+:class:`FlashArray` owns one :class:`~repro.sim.resources.Resource` per die
+and one per channel.  Dies execute at most one array operation at a time;
+data transfers additionally reserve the die's channel bus, which is shared by
+all dies on that channel.  The FTL (:mod:`repro.ssd.ftl`) calls the
+``read_page`` / ``program_page`` / ``erase_block`` generator helpers with
+``yield from``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Simulator
+
+
+class FlashOp(enum.Enum):
+    """Kinds of flash array operations (for statistics)."""
+
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+
+
+@dataclass
+class FlashArrayStats:
+    """Operation counters and busy-time accounting for a flash array."""
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    bytes_read: int = 0
+    bytes_programmed: int = 0
+    die_busy_us: dict = field(default_factory=dict)
+
+    def add_busy(self, die: int, duration: float) -> None:
+        self.die_busy_us[die] = self.die_busy_us.get(die, 0.0) + duration
+
+
+class FlashArray:
+    """A bank of flash dies with per-die and per-channel contention."""
+
+    def __init__(self, sim: "Simulator", geometry: FlashGeometry, timing: FlashTiming):
+        self.sim = sim
+        self.geometry = geometry
+        self.timing = timing
+        self._dies = [Resource(sim, capacity=1) for _ in range(geometry.total_dies)]
+        self._channels = [Resource(sim, capacity=1) for _ in range(geometry.channels)]
+        self.stats = FlashArrayStats()
+
+    # -- helpers ------------------------------------------------------------
+    def _die_resource(self, die: int) -> Resource:
+        if not 0 <= die < self.geometry.total_dies:
+            raise ValueError(f"die {die} out of range")
+        return self._dies[die]
+
+    def _channel_resource(self, die: int) -> Resource:
+        return self._channels[self.geometry.channel_of_die(die)]
+
+    def die_queue_length(self, die: int) -> int:
+        """Commands waiting for the given die (used by the GC scheduler)."""
+        return self._die_resource(die).queue_length + self._die_resource(die).users
+
+    # -- operations ---------------------------------------------------------
+    def read_page(self, die: int, num_bytes: int):
+        """Generator: read ``num_bytes`` from one page of ``die``.
+
+        The array read (tR) occupies only the die; the data transfer occupies
+        both the die and its channel.
+        """
+        timing = self.timing
+        die_res = self._die_resource(die)
+        chan_res = self._channel_resource(die)
+        start = self.sim.now
+        yield die_res.request()
+        try:
+            yield self.sim.timeout(timing.command_overhead_us + timing.read_us)
+            yield chan_res.request()
+            try:
+                yield self.sim.timeout(timing.transfer_us(num_bytes))
+            finally:
+                chan_res.release()
+        finally:
+            die_res.release()
+        self.stats.reads += 1
+        self.stats.bytes_read += num_bytes
+        self.stats.add_busy(die, self.sim.now - start)
+
+    def program_page(self, die: int, num_bytes: int, planes: int = 1):
+        """Generator: program ``num_bytes`` into ``die``.
+
+        ``planes`` > 1 models a multi-plane program: the transfer covers all
+        planes' data but a single tPROG is paid, which is how the write path
+        reaches the device's sequential-write bandwidth.
+        """
+        if planes < 1 or planes > self.geometry.planes_per_die:
+            raise ValueError(f"planes must be in [1, {self.geometry.planes_per_die}]")
+        timing = self.timing
+        die_res = self._die_resource(die)
+        chan_res = self._channel_resource(die)
+        start = self.sim.now
+        yield die_res.request()
+        try:
+            yield chan_res.request()
+            try:
+                yield self.sim.timeout(
+                    timing.command_overhead_us + timing.transfer_us(num_bytes))
+            finally:
+                chan_res.release()
+            yield self.sim.timeout(timing.program_us)
+        finally:
+            die_res.release()
+        self.stats.programs += 1
+        self.stats.bytes_programmed += num_bytes
+        self.stats.add_busy(die, self.sim.now - start)
+
+    def erase_block(self, die: int):
+        """Generator: erase one block of ``die``."""
+        die_res = self._die_resource(die)
+        start = self.sim.now
+        yield die_res.request()
+        try:
+            yield self.sim.timeout(self.timing.command_overhead_us + self.timing.erase_us)
+        finally:
+            die_res.release()
+        self.stats.erases += 1
+        self.stats.add_busy(die, self.sim.now - start)
+
+    # -- theoretical limits (used by tests and calibration) -----------------
+    def peak_read_bandwidth(self) -> float:
+        """Upper bound on read bandwidth in bytes/us (channel-limited)."""
+        per_channel = self.timing.channel_bytes_per_us
+        return per_channel * self.geometry.channels
+
+    def peak_program_bandwidth(self) -> float:
+        """Upper bound on program bandwidth in bytes/us (die-limited)."""
+        page = self.geometry.page_size * self.geometry.planes_per_die
+        per_die = page / self.timing.program_latency_us(page)
+        return per_die * self.geometry.total_dies

@@ -1,0 +1,106 @@
+"""Flash array geometry: channels, dies, planes, blocks, and pages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.io import KiB
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Describes the physical organisation of a flash array.
+
+    The hierarchy is ``channel -> die -> plane -> block -> page``.  The die is
+    the minimum unit of parallel operation; planes within a die can be
+    operated together by multi-plane commands (the FTL exploits this when
+    flushing the write buffer).
+    """
+
+    channels: int = 8
+    dies_per_channel: int = 4
+    planes_per_die: int = 2
+    blocks_per_plane: int = 128
+    pages_per_block: int = 256
+    page_size: int = 16 * KiB
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "dies_per_channel", "planes_per_die",
+                     "blocks_per_plane", "pages_per_block", "page_size"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+
+    # -- derived counts ---------------------------------------------------
+    @property
+    def total_dies(self) -> int:
+        return self.channels * self.dies_per_channel
+
+    @property
+    def blocks_per_die(self) -> int:
+        return self.planes_per_die * self.blocks_per_plane
+
+    @property
+    def total_blocks(self) -> int:
+        return self.total_dies * self.blocks_per_die
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per flash block."""
+        return self.pages_per_block * self.page_size
+
+    @property
+    def die_size(self) -> int:
+        """Bytes per die."""
+        return self.blocks_per_die * self.block_size
+
+    @property
+    def physical_capacity(self) -> int:
+        """Raw flash capacity in bytes, including over-provisioned space."""
+        return self.total_dies * self.die_size
+
+    @property
+    def pages_per_die(self) -> int:
+        return self.blocks_per_die * self.pages_per_block
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_dies * self.pages_per_die
+
+    # -- address helpers ----------------------------------------------------
+    def die_index(self, channel: int, die: int) -> int:
+        """Flat die index from (channel, die-within-channel)."""
+        if not 0 <= channel < self.channels:
+            raise ValueError(f"channel {channel} out of range")
+        if not 0 <= die < self.dies_per_channel:
+            raise ValueError(f"die {die} out of range")
+        return channel * self.dies_per_channel + die
+
+    def channel_of_die(self, die_index: int) -> int:
+        """Channel that a flat die index belongs to."""
+        if not 0 <= die_index < self.total_dies:
+            raise ValueError(f"die index {die_index} out of range")
+        return die_index // self.dies_per_channel
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (f"{self.channels}ch x {self.dies_per_channel}die x "
+                f"{self.planes_per_die}pl x {self.blocks_per_plane}blk x "
+                f"{self.pages_per_block}pg x {self.page_size // KiB}KiB "
+                f"= {self.physical_capacity / (1 << 30):.1f}GiB raw")
+
+
+@dataclass(frozen=True, order=True)
+class FlashAddress:
+    """Physical address of one flash page."""
+
+    die: int
+    block: int
+    page: int
+
+    def __post_init__(self) -> None:
+        if self.die < 0 or self.block < 0 or self.page < 0:
+            raise ValueError(f"negative component in {self}")
+
+    def block_address(self) -> "FlashAddress":
+        """The address of page 0 in the same block (block identity)."""
+        return FlashAddress(self.die, self.block, 0)

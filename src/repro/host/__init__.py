@@ -1,0 +1,19 @@
+"""Host-side I/O stack: block-device abstraction, requests, and queues.
+
+Both device models (:class:`repro.ssd.SsdDevice` and
+:class:`repro.ebs.EssdDevice`) implement the :class:`BlockDevice` interface
+defined here, so workloads, experiments, and the contract checker are written
+once against the abstraction.
+"""
+
+from repro.host.device import BlockDevice, DeviceStats
+from repro.host.io import IOKind, IORequest
+from repro.host.queue import SubmissionQueue
+
+__all__ = [
+    "BlockDevice",
+    "DeviceStats",
+    "IOKind",
+    "IORequest",
+    "SubmissionQueue",
+]

@@ -1,0 +1,123 @@
+"""The :class:`BlockDevice` abstraction all simulated devices implement."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.host.io import IOKind, IORequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Event, Simulator
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative counters every device keeps.
+
+    All byte counters are host-visible bytes (before any device-internal
+    amplification); device models add their own extended statistics on top.
+    """
+
+    reads_completed: int = 0
+    writes_completed: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    flushes_completed: int = 0
+    errors: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ios_completed(self) -> int:
+        return self.reads_completed + self.writes_completed + self.flushes_completed
+
+    def record(self, request: IORequest) -> None:
+        """Account for a completed request."""
+        if request.kind is IOKind.READ:
+            self.reads_completed += 1
+            self.bytes_read += request.size
+        elif request.kind is IOKind.WRITE:
+            self.writes_completed += 1
+            self.bytes_written += request.size
+        elif request.kind is IOKind.FLUSH:
+            self.flushes_completed += 1
+
+
+class BlockDevice(abc.ABC):
+    """A block-addressable storage device attached to a simulator.
+
+    Sub-classes implement :meth:`_serve`, a simulation process that performs
+    one request and returns it.  The public entry point is :meth:`submit`,
+    which validates the request, stamps its submit time, and returns the
+    completion event (a :class:`~repro.sim.events.Process`).
+    """
+
+    def __init__(self, sim: "Simulator", capacity_bytes: int,
+                 logical_block_size: int = 4096, name: str = "device"):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        if logical_block_size <= 0 or capacity_bytes % logical_block_size != 0:
+            raise ValueError(
+                f"capacity {capacity_bytes} must be a multiple of the logical "
+                f"block size {logical_block_size}")
+        self.sim = sim
+        self.capacity_bytes = capacity_bytes
+        self.logical_block_size = logical_block_size
+        self.name = name
+        self.stats = DeviceStats()
+
+    # -- public API ---------------------------------------------------------
+    def submit(self, request: IORequest) -> "Event":
+        """Submit ``request``; returns an event that succeeds with the request
+        once the device has completed it."""
+        self.validate(request)
+        request.submit_time = self.sim.now
+        return self.sim.process(self._complete(request))
+
+    def read(self, offset: int, size: int, **kwargs) -> "Event":
+        """Submit a read of ``size`` bytes at ``offset``."""
+        return self.submit(IORequest.read(offset, size, **kwargs))
+
+    def write(self, offset: int, size: int, **kwargs) -> "Event":
+        """Submit a write of ``size`` bytes at ``offset``."""
+        return self.submit(IORequest.write(offset, size, **kwargs))
+
+    def flush(self, **kwargs) -> "Event":
+        """Submit a flush request (drain volatile buffers)."""
+        return self.submit(IORequest.flush(**kwargs))
+
+    def validate(self, request: IORequest) -> None:
+        """Raise ``ValueError`` for requests outside the device's address space
+        or not aligned to the logical block size."""
+        if request.kind is IOKind.FLUSH:
+            return
+        if request.offset % self.logical_block_size != 0:
+            raise ValueError(
+                f"offset {request.offset} not aligned to {self.logical_block_size}")
+        if request.size % self.logical_block_size != 0:
+            raise ValueError(
+                f"size {request.size} not aligned to {self.logical_block_size}")
+        if request.end_offset > self.capacity_bytes:
+            raise ValueError(
+                f"request [{request.offset}, {request.end_offset}) exceeds "
+                f"device capacity {self.capacity_bytes}")
+
+    # -- plumbing -----------------------------------------------------------
+    def _complete(self, request: IORequest):
+        result = yield from self._serve(request)
+        request.complete_time = self.sim.now
+        self.stats.record(request)
+        self.on_complete(request)
+        return result if result is not None else request
+
+    def on_complete(self, request: IORequest) -> None:
+        """Hook for sub-classes / instrumentation; default does nothing."""
+
+    @abc.abstractmethod
+    def _serve(self, request: IORequest):
+        """Simulation process (generator) that performs one request."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"capacity={self.capacity_bytes // (1 << 20)}MiB>")

@@ -1,0 +1,97 @@
+"""I/O request types shared by all device models."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Bytes in a kibibyte / mebibyte / gibibyte, used throughout the repo.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+_request_counter = itertools.count()
+
+
+class IOKind(enum.Enum):
+    """The kind of a block I/O request."""
+
+    READ = "read"
+    WRITE = "write"
+    FLUSH = "flush"
+    TRIM = "trim"
+
+    @property
+    def is_read(self) -> bool:
+        return self is IOKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self is IOKind.WRITE
+
+
+@dataclass
+class IORequest:
+    """A single block I/O request.
+
+    Offsets and sizes are in bytes.  ``submit_time`` and ``complete_time``
+    are filled in by the device (simulation microseconds), so a completed
+    request carries its own latency.
+    """
+
+    kind: IOKind
+    offset: int
+    size: int
+    request_id: int = field(default_factory=lambda: next(_request_counter))
+    submit_time: Optional[float] = None
+    complete_time: Optional[float] = None
+    #: Free-form annotation (e.g. the workload stream that issued it).
+    tag: Any = None
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"negative offset: {self.offset}")
+        if self.size < 0:
+            raise ValueError(f"negative size: {self.size}")
+        if self.kind in (IOKind.READ, IOKind.WRITE) and self.size == 0:
+            raise ValueError("read/write requests must have a positive size")
+
+    @property
+    def end_offset(self) -> int:
+        """First byte past the end of the request."""
+        return self.offset + self.size
+
+    @property
+    def latency(self) -> float:
+        """Completion latency in microseconds.
+
+        Only valid once the device has completed the request.
+        """
+        if self.submit_time is None or self.complete_time is None:
+            raise ValueError("request has not completed yet")
+        return self.complete_time - self.submit_time
+
+    @property
+    def is_completed(self) -> bool:
+        return self.complete_time is not None
+
+    def overlaps(self, other: "IORequest") -> bool:
+        """Whether the byte ranges of two requests intersect."""
+        return self.offset < other.end_offset and other.offset < self.end_offset
+
+    @classmethod
+    def read(cls, offset: int, size: int, **kwargs: Any) -> "IORequest":
+        """Convenience constructor for a read request."""
+        return cls(IOKind.READ, offset, size, **kwargs)
+
+    @classmethod
+    def write(cls, offset: int, size: int, **kwargs: Any) -> "IORequest":
+        """Convenience constructor for a write request."""
+        return cls(IOKind.WRITE, offset, size, **kwargs)
+
+    @classmethod
+    def flush(cls, **kwargs: Any) -> "IORequest":
+        """Convenience constructor for a flush (cache barrier) request."""
+        return cls(IOKind.FLUSH, 0, 0, **kwargs)

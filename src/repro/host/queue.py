@@ -1,0 +1,63 @@
+"""A bounded submission queue in front of a block device.
+
+The queue caps the number of requests simultaneously outstanding at the
+device (the *queue depth*), which is how FIO's ``iodepth`` behaves with an
+asynchronous I/O engine.  The workload runner in :mod:`repro.workload` uses
+one :class:`SubmissionQueue` per job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.host.device import BlockDevice
+from repro.host.io import IORequest
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Simulator
+
+
+class SubmissionQueue:
+    """Limits outstanding requests to ``depth`` and tracks queue statistics."""
+
+    def __init__(self, sim: "Simulator", device: BlockDevice, depth: int):
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.sim = sim
+        self.device = device
+        self.depth = depth
+        self._slots = Resource(sim, capacity=depth)
+        self.submitted = 0
+        self.completed = 0
+
+    @property
+    def outstanding(self) -> int:
+        """Requests currently being serviced by the device."""
+        return self._slots.users
+
+    @property
+    def waiting(self) -> int:
+        """Requests waiting for a free queue slot."""
+        return self._slots.queue_length
+
+    def submit(self, request: IORequest):
+        """Simulation process: wait for a slot, run the request, release.
+
+        Usage from another process::
+
+            completed = yield sim.process(queue.submit(request))
+        """
+        yield self._slots.request()
+        self.submitted += 1
+        try:
+            completed = yield self.device.submit(request)
+        finally:
+            self._slots.release()
+        self.completed += 1
+        return completed
+
+    def drain(self):
+        """Simulation process: wait until no request is outstanding or queued."""
+        while self._slots.users > 0 or self._slots.queue_length > 0:
+            yield self.sim.timeout(1.0)

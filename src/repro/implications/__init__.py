@@ -1,0 +1,36 @@
+"""Advisors implementing the contract's five implications.
+
+Each advisor turns one implication into a quantitative recommendation for a
+concrete workload or deployment:
+
+* :class:`IoScalingAdvisor` (Implication 1) -- how much latency/efficiency is
+  recovered by batching I/Os and raising queue depth.
+* :class:`GcAdaptationAdvisor` (Implication 2) -- whether GC-mitigation
+  machinery designed for local SSDs still pays off.
+* :class:`WritePatternAdvisor` (Implication 3) -- whether sequentializing
+  writes (log-structuring) is still worthwhile.
+* :class:`IoSmoother` (Implication 4) -- how to shape a bursty arrival
+  process under a throughput budget and what it saves.
+* :class:`IoReductionEvaluator` (Implication 5) -- whether compression or
+  deduplication now improves both cost and performance.
+"""
+
+from repro.implications.io_scaling import IoScalingAdvisor, LatencyCostModel, ScalingRecommendation
+from repro.implications.gc_adaptation import GcAdaptationAdvisor, GcAdaptationAdvice
+from repro.implications.write_pattern import WritePatternAdvisor, WritePatternAdvice
+from repro.implications.smoothing import IoSmoother, SmoothingPlan
+from repro.implications.reduction import IoReductionEvaluator, ReductionAssessment
+
+__all__ = [
+    "IoScalingAdvisor",
+    "LatencyCostModel",
+    "ScalingRecommendation",
+    "GcAdaptationAdvisor",
+    "GcAdaptationAdvice",
+    "WritePatternAdvisor",
+    "WritePatternAdvice",
+    "IoSmoother",
+    "SmoothingPlan",
+    "IoReductionEvaluator",
+    "ReductionAssessment",
+]

@@ -1,0 +1,124 @@
+"""Implication 2: reconsider GC-mitigation techniques on ESSDs.
+
+Host-side GC mitigation (log-structured writeout, hot/cold separation, idle
+trimming, redundancy-based request steering) costs CPU, memory, and extra
+I/O.  On a local SSD that price buys protection from a real throughput cliff;
+on an ESSD the cliff is delayed or absent, so the same machinery may be pure
+overhead.  The advisor weighs the measured cliff position (from the contract
+checker or Figure-3-style experiment) against the workload's write pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class WorkloadWriteProfile:
+    """How hard a workload writes, expressed relative to device capacity."""
+
+    #: Capacity multiples written per day (e.g. 0.3 = 30% of the volume daily).
+    daily_write_capacity_factor: float
+    #: Fraction of writes that overwrite existing data (creates invalid space).
+    overwrite_fraction: float = 0.8
+    #: Fractional throughput overhead the GC-mitigation layer costs
+    #: (extra CPU + metadata I/O), e.g. 0.08 = 8%.
+    mitigation_overhead: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.daily_write_capacity_factor < 0:
+            raise ValueError("daily_write_capacity_factor must be >= 0")
+        if not 0 <= self.overwrite_fraction <= 1:
+            raise ValueError("overwrite_fraction must be in [0, 1]")
+        if not 0 <= self.mitigation_overhead < 1:
+            raise ValueError("mitigation_overhead must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class GcAdaptationAdvice:
+    """The advisor's verdict for one device/workload pair."""
+
+    keep_mitigation: bool
+    rationale: str
+    #: Days until the device's observed slowdown threshold would be reached
+    #: (``None`` = never observed).
+    days_to_cliff: Optional[float]
+    #: Estimated relative throughput change from dropping the mitigation
+    #: layer (positive = dropping it helps).
+    estimated_gain_from_dropping: float
+
+
+class GcAdaptationAdvisor:
+    """Decides whether local-SSD GC mitigation still pays off on a device."""
+
+    def __init__(self, cliff_capacity_factor: Optional[float],
+                 post_cliff_throughput_fraction: float = 0.35):
+        """
+        Parameters
+        ----------
+        cliff_capacity_factor:
+            Cumulative write volume (in multiples of device capacity) at which
+            the device's throughput was observed to drop, or ``None`` if no
+            drop was observed within the characterization window.
+        post_cliff_throughput_fraction:
+            Throughput retained after the drop, relative to the peak.
+        """
+        if cliff_capacity_factor is not None and cliff_capacity_factor <= 0:
+            raise ValueError("cliff_capacity_factor must be positive when given")
+        if not 0 < post_cliff_throughput_fraction <= 1:
+            raise ValueError("post_cliff_throughput_fraction must be in (0, 1]")
+        self.cliff_capacity_factor = cliff_capacity_factor
+        self.post_cliff_throughput_fraction = post_cliff_throughput_fraction
+
+    def days_until_cliff(self, workload: WorkloadWriteProfile) -> Optional[float]:
+        """How long the workload takes to write up to the observed cliff."""
+        if self.cliff_capacity_factor is None:
+            return None
+        if workload.daily_write_capacity_factor == 0:
+            return float("inf")
+        effective_daily = workload.daily_write_capacity_factor * workload.overwrite_fraction
+        if effective_daily == 0:
+            return float("inf")
+        return self.cliff_capacity_factor / effective_daily
+
+    def advise(self, workload: WorkloadWriteProfile,
+               planning_horizon_days: float = 30.0) -> GcAdaptationAdvice:
+        """Weigh mitigation overhead against the risk of hitting the cliff."""
+        days = self.days_until_cliff(workload)
+        overhead = workload.mitigation_overhead
+        if days is None or days > planning_horizon_days * 4:
+            # No cliff in sight: the mitigation layer is pure overhead.
+            return GcAdaptationAdvice(
+                keep_mitigation=False,
+                rationale=("no GC-induced slowdown observed within the planning "
+                           "horizon; the mitigation layer's overhead "
+                           f"({overhead:.0%}) buys nothing"),
+                days_to_cliff=days,
+                estimated_gain_from_dropping=overhead,
+            )
+        if days <= planning_horizon_days:
+            # The cliff is reachable: expected cost of dropping mitigation is
+            # the post-cliff slowdown weighted by the exposed fraction of the
+            # horizon.
+            exposed_fraction = max(0.0, 1.0 - days / planning_horizon_days)
+            expected_loss = exposed_fraction * (1.0 - self.post_cliff_throughput_fraction)
+            keep = expected_loss > overhead
+            return GcAdaptationAdvice(
+                keep_mitigation=keep,
+                rationale=(f"slowdown expected after ~{days:.1f} days; expected loss "
+                           f"from dropping mitigation {expected_loss:.0%} vs its "
+                           f"overhead {overhead:.0%}"),
+                days_to_cliff=days,
+                estimated_gain_from_dropping=overhead - expected_loss,
+            )
+        # Cliff beyond the horizon but not absurdly far: keep it only if cheap.
+        keep = overhead < 0.02
+        return GcAdaptationAdvice(
+            keep_mitigation=keep,
+            rationale=(f"slowdown only after ~{days:.1f} days (beyond the "
+                       f"{planning_horizon_days:.0f}-day horizon); keep mitigation "
+                       "only if its overhead is negligible"),
+            days_to_cliff=days,
+            estimated_gain_from_dropping=overhead,
+        )

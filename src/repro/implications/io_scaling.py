@@ -1,0 +1,163 @@
+"""Implication 1: scale I/O sizes and queue depths up.
+
+The advisor fits a simple affine latency-cost model to measurements of a
+device (``latency = fixed + size / bandwidth``), from which it derives how
+much of every request is pure overhead at a given I/O size and how much
+batching recovers.  It then recommends a target I/O size and queue depth to
+reach a desired efficiency while respecting a latency ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.host.io import KiB, MiB
+
+
+@dataclass(frozen=True)
+class LatencyCostModel:
+    """Affine model of request latency: ``fixed_us + size_bytes / bytes_per_us``."""
+
+    fixed_us: float
+    bytes_per_us: float
+
+    def __post_init__(self) -> None:
+        if self.fixed_us < 0 or self.bytes_per_us <= 0:
+            raise ValueError("fixed_us must be >= 0 and bytes_per_us > 0")
+
+    def latency_us(self, size_bytes: int) -> float:
+        """Predicted single-request latency at the given size."""
+        return self.fixed_us + size_bytes / self.bytes_per_us
+
+    def efficiency(self, size_bytes: int) -> float:
+        """Fraction of the request's latency spent moving data (0-1)."""
+        total = self.latency_us(size_bytes)
+        return (size_bytes / self.bytes_per_us) / total if total > 0 else 0.0
+
+    def size_for_efficiency(self, target: float) -> int:
+        """Smallest I/O size whose efficiency reaches ``target``."""
+        if not 0 < target < 1:
+            raise ValueError("target efficiency must be in (0, 1)")
+        # efficiency = s/B / (F + s/B)  =>  s = F*B*target/(1-target)
+        size = self.fixed_us * self.bytes_per_us * target / (1.0 - target)
+        return int(size)
+
+    def throughput_gbps(self, size_bytes: int, queue_depth: int) -> float:
+        """Closed-loop throughput estimate at the given size and queue depth."""
+        per_request = self.latency_us(size_bytes)
+        return queue_depth * size_bytes / per_request / 1000.0
+
+    @classmethod
+    def fit(cls, sizes: Sequence[int], latencies_us: Sequence[float]) -> "LatencyCostModel":
+        """Least-squares fit of the affine model to (size, latency) samples."""
+        if len(sizes) != len(latencies_us) or len(sizes) < 2:
+            raise ValueError("need at least two (size, latency) samples")
+        x = np.asarray(sizes, dtype=np.float64)
+        y = np.asarray(latencies_us, dtype=np.float64)
+        slope, intercept = np.polyfit(x, y, 1)
+        if slope <= 0:
+            # Latency did not grow with size in the sampled range; treat the
+            # device as bandwidth-unlimited within it.
+            slope = 1e-9
+        return cls(fixed_us=max(0.0, float(intercept)), bytes_per_us=float(1.0 / slope))
+
+
+@dataclass(frozen=True)
+class ScalingRecommendation:
+    """What the advisor suggests for one workload on one device."""
+
+    current_io_size: int
+    current_queue_depth: int
+    recommended_io_size: int
+    recommended_queue_depth: int
+    current_efficiency: float
+    recommended_efficiency: float
+    current_throughput_gbps: float
+    recommended_throughput_gbps: float
+    latency_ceiling_us: Optional[float]
+
+    @property
+    def throughput_speedup(self) -> float:
+        if self.current_throughput_gbps <= 0:
+            return float("inf")
+        return self.recommended_throughput_gbps / self.current_throughput_gbps
+
+    def describe(self) -> str:
+        return (f"scale I/O from {self.current_io_size // KiB}KiB/QD"
+                f"{self.current_queue_depth} to {self.recommended_io_size // KiB}KiB/QD"
+                f"{self.recommended_queue_depth}: efficiency "
+                f"{self.current_efficiency:.0%} -> {self.recommended_efficiency:.0%}, "
+                f"throughput x{self.throughput_speedup:.1f}")
+
+
+class IoScalingAdvisor:
+    """Derives batching/queue-depth recommendations from a latency-cost model."""
+
+    #: Candidate I/O sizes considered by the advisor.
+    CANDIDATE_SIZES = (4 * KiB, 8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB,
+                       128 * KiB, 256 * KiB, 512 * KiB, 1 * MiB)
+    #: Candidate queue depths considered by the advisor.
+    CANDIDATE_DEPTHS = (1, 2, 4, 8, 16, 32, 64)
+
+    def __init__(self, model: LatencyCostModel,
+                 throughput_budget_gbps: Optional[float] = None):
+        self.model = model
+        self.throughput_budget_gbps = throughput_budget_gbps
+
+    @classmethod
+    def from_measurements(cls, measurements: Iterable[tuple[int, float]],
+                          throughput_budget_gbps: Optional[float] = None) -> "IoScalingAdvisor":
+        """Build an advisor from (io_size, mean latency) measurements."""
+        pairs = list(measurements)
+        sizes = [size for size, _ in pairs]
+        latencies = [latency for _, latency in pairs]
+        return cls(LatencyCostModel.fit(sizes, latencies), throughput_budget_gbps)
+
+    def recommend(self, current_io_size: int, current_queue_depth: int,
+                  target_efficiency: float = 0.5,
+                  latency_ceiling_us: Optional[float] = None) -> ScalingRecommendation:
+        """Pick the smallest (size, depth) meeting the efficiency target.
+
+        The recommendation never exceeds ``latency_ceiling_us`` for a single
+        request and never recommends *smaller* I/Os or *lower* depth than the
+        current configuration.
+        """
+        if not 0 < target_efficiency < 1:
+            raise ValueError("target_efficiency must be in (0, 1)")
+        best_size = current_io_size
+        for size in self.CANDIDATE_SIZES:
+            if size < current_io_size:
+                continue
+            if latency_ceiling_us is not None and self.model.latency_us(size) > latency_ceiling_us:
+                break
+            best_size = size
+            if self.model.efficiency(size) >= target_efficiency:
+                break
+        best_depth = current_queue_depth
+        for depth in self.CANDIDATE_DEPTHS:
+            if depth < current_queue_depth:
+                continue
+            best_depth = depth
+            throughput = self.model.throughput_gbps(best_size, depth)
+            if self.throughput_budget_gbps is not None \
+                    and throughput >= self.throughput_budget_gbps:
+                break
+        current_tp = self.model.throughput_gbps(current_io_size, current_queue_depth)
+        recommended_tp = self.model.throughput_gbps(best_size, best_depth)
+        if self.throughput_budget_gbps is not None:
+            current_tp = min(current_tp, self.throughput_budget_gbps)
+            recommended_tp = min(recommended_tp, self.throughput_budget_gbps)
+        return ScalingRecommendation(
+            current_io_size=current_io_size,
+            current_queue_depth=current_queue_depth,
+            recommended_io_size=best_size,
+            recommended_queue_depth=best_depth,
+            current_efficiency=self.model.efficiency(current_io_size),
+            recommended_efficiency=self.model.efficiency(best_size),
+            current_throughput_gbps=current_tp,
+            recommended_throughput_gbps=recommended_tp,
+            latency_ceiling_us=latency_ceiling_us,
+        )

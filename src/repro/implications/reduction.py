@@ -1,0 +1,138 @@
+"""Implication 5: re-evaluate I/O-reduction techniques (compression, dedup).
+
+On a local SSD with ~10 us writes, spending tens of microseconds of CPU per
+block to compress it slows the critical path down.  On an ESSD whose small
+writes already cost hundreds of microseconds of network and software time,
+the same CPU cost is a rounding error -- while every byte removed also
+reduces the throughput budget (and therefore the bill) the volume needs.
+The evaluator quantifies both effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.io import KiB
+
+
+@dataclass(frozen=True)
+class ReductionTechnique:
+    """A data-reduction technique applied on the host before I/O."""
+
+    name: str
+    #: Output bytes divided by input bytes (0.5 = halves the data).
+    reduction_ratio: float
+    #: CPU time spent per input KiB on the write path (us).
+    cpu_us_per_kib_write: float
+    #: CPU time spent per input KiB on the read path (us).
+    cpu_us_per_kib_read: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.reduction_ratio <= 1:
+            raise ValueError("reduction_ratio must be in (0, 1]")
+        if self.cpu_us_per_kib_write < 0 or self.cpu_us_per_kib_read < 0:
+            raise ValueError("CPU costs must be non-negative")
+
+
+#: A fast LZ-class compressor (lz4-like).
+FAST_COMPRESSION = ReductionTechnique("lz4-like compression", 0.55, 0.25, 0.10)
+#: A slower, denser compressor (zstd-like, higher level).
+DENSE_COMPRESSION = ReductionTechnique("zstd-like compression", 0.40, 1.0, 0.30)
+#: Content-defined deduplication with an in-memory index.
+DEDUPLICATION = ReductionTechnique("deduplication", 0.70, 0.6, 0.05)
+
+
+@dataclass(frozen=True)
+class DeviceLatencyModel:
+    """Minimal device description the evaluator needs."""
+
+    name: str
+    #: Latency of one I/O of ``reference_io_size`` (us).
+    base_latency_us: float
+    #: Additional latency per KiB transferred (us).
+    per_kib_us: float
+    #: Throughput budget in GB/s (``None`` for local devices without one).
+    throughput_budget_gbps: float | None = None
+
+    def latency_us(self, io_size: int) -> float:
+        return self.base_latency_us + (io_size / KiB) * self.per_kib_us
+
+
+@dataclass(frozen=True)
+class ReductionAssessment:
+    """Outcome of evaluating one technique on one device."""
+
+    technique: str
+    device: str
+    baseline_latency_us: float
+    reduced_latency_us: float
+    latency_change: float
+    bandwidth_reduction: float
+    budget_saving_gbps: float | None
+    beneficial_for_performance: bool
+    beneficial_for_cost: bool
+
+    @property
+    def recommended(self) -> bool:
+        """Adopt when it does not hurt performance and saves cost, or helps both."""
+        return self.beneficial_for_cost and self.beneficial_for_performance
+
+
+class IoReductionEvaluator:
+    """Compares a reduction technique's CPU price against its I/O savings."""
+
+    def __init__(self, device: DeviceLatencyModel,
+                 io_size: int = 16 * KiB, write_fraction: float = 0.7):
+        if io_size <= 0:
+            raise ValueError("io_size must be positive")
+        if not 0 <= write_fraction <= 1:
+            raise ValueError("write_fraction must be in [0, 1]")
+        self.device = device
+        self.io_size = io_size
+        self.write_fraction = write_fraction
+
+    def assess(self, technique: ReductionTechnique,
+               offered_load_gbps: float | None = None,
+               latency_tolerance: float = 1.02) -> ReductionAssessment:
+        """Evaluate ``technique`` on this device.
+
+        ``latency_tolerance`` is the relative latency increase still counted
+        as "not hurting performance" (default 2%).
+        """
+        io_kib = self.io_size / KiB
+        baseline = self.device.latency_us(self.io_size)
+        reduced_io = int(self.io_size * technique.reduction_ratio)
+        cpu_us = (self.write_fraction * technique.cpu_us_per_kib_write
+                  + (1 - self.write_fraction) * technique.cpu_us_per_kib_read) * io_kib
+        reduced = self.device.latency_us(reduced_io) + cpu_us
+        latency_change = (reduced - baseline) / baseline if baseline > 0 else 0.0
+        bandwidth_reduction = 1.0 - technique.reduction_ratio
+
+        budget_saving = None
+        beneficial_cost = bandwidth_reduction > 0
+        if self.device.throughput_budget_gbps is not None and offered_load_gbps is not None:
+            needed_before = min(offered_load_gbps, self.device.throughput_budget_gbps)
+            needed_after = needed_before * technique.reduction_ratio
+            budget_saving = needed_before - needed_after
+            beneficial_cost = budget_saving > 0
+
+        beneficial_perf = reduced <= baseline * latency_tolerance
+        return ReductionAssessment(
+            technique=technique.name,
+            device=self.device.name,
+            baseline_latency_us=baseline,
+            reduced_latency_us=reduced,
+            latency_change=latency_change,
+            bandwidth_reduction=bandwidth_reduction,
+            budget_saving_gbps=budget_saving,
+            beneficial_for_performance=beneficial_perf,
+            beneficial_for_cost=beneficial_cost,
+        )
+
+    def compare_devices(self, technique: ReductionTechnique,
+                        other: "IoReductionEvaluator",
+                        offered_load_gbps: float | None = None
+                        ) -> tuple[ReductionAssessment, ReductionAssessment]:
+        """Assess the same technique here and on ``other`` (e.g. SSD vs ESSD)."""
+        return (self.assess(technique, offered_load_gbps),
+                other.assess(technique, offered_load_gbps))

@@ -1,0 +1,137 @@
+"""Implication 4: smooth I/O below the guaranteed throughput budget.
+
+The throughput budget of an ESSD is paid for whether it is used or not, and
+burst arrivals above it queue behind the provider's token bucket.  The
+smoother computes, for a given arrival trace, the smallest budget that keeps
+queueing delay within a tolerance once the arrival process is shaped -- and
+the cost saving relative to provisioning for the unshaped peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.workload.trace import Trace, TraceEvent
+
+
+@dataclass(frozen=True)
+class SmoothingPlan:
+    """Result of sizing a shaped throughput budget for one trace."""
+
+    #: Peak offered load of the unshaped trace (GB/s).
+    unshaped_peak_gbps: float
+    #: Long-run average load of the trace (GB/s).
+    mean_load_gbps: float
+    #: Budget required without shaping (provision for the peak).
+    unshaped_budget_gbps: float
+    #: Budget that suffices once the trace is shaped.
+    shaped_budget_gbps: float
+    #: Maximum delay any request incurs under the shaped budget (us).
+    max_shaping_delay_us: float
+    #: Delay tolerance the plan was sized for (us).
+    delay_tolerance_us: float
+    #: Relative budget (and hence cost, for budget-priced volumes) saving.
+    @property
+    def budget_saving(self) -> float:
+        if self.unshaped_budget_gbps <= 0:
+            return 0.0
+        return 1.0 - self.shaped_budget_gbps / self.unshaped_budget_gbps
+
+    def monthly_cost_saving(self, dollars_per_gbps_month: float) -> float:
+        """Dollar saving per month at a linear budget price."""
+        if dollars_per_gbps_month < 0:
+            raise ValueError("price must be non-negative")
+        return (self.unshaped_budget_gbps - self.shaped_budget_gbps) \
+            * dollars_per_gbps_month
+
+
+class IoSmoother:
+    """Token-bucket shaping of an arrival trace against a throughput budget."""
+
+    def __init__(self, delay_tolerance_us: float = 50_000.0,
+                 headroom: float = 1.05, peak_bin_us: float = 1_000.0):
+        """
+        Parameters
+        ----------
+        delay_tolerance_us:
+            Maximum extra delay shaping may add to any single request.
+        headroom:
+            Multiplier applied on top of the computed minimum rate (budgets
+            are purchased in round numbers; a little slack avoids living at
+            100% utilisation).
+        peak_bin_us:
+            Bin width used to estimate the unshaped peak load.
+        """
+        if delay_tolerance_us < 0:
+            raise ValueError("delay_tolerance_us must be >= 0")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1.0")
+        self.delay_tolerance_us = delay_tolerance_us
+        self.headroom = headroom
+        self.peak_bin_us = peak_bin_us
+
+    # -- shaping simulation (fluid model) --------------------------------------------
+    def max_delay_at_rate(self, trace: Trace, rate_gbps: float) -> float:
+        """Worst-case queueing delay (us) if the trace is served at a fixed rate."""
+        if rate_gbps <= 0:
+            raise ValueError("rate must be positive")
+        rate_bytes_per_us = rate_gbps * 1000.0
+        virtual_finish = 0.0
+        worst = 0.0
+        for event in trace.events:
+            start = max(event.timestamp_us, virtual_finish)
+            virtual_finish = start + event.size / rate_bytes_per_us
+            worst = max(worst, virtual_finish - event.timestamp_us)
+        return worst
+
+    def minimum_rate(self, trace: Trace, tolerance_us: Optional[float] = None) -> float:
+        """Smallest service rate (GB/s) keeping shaping delay within tolerance."""
+        if len(trace) == 0:
+            return 0.0
+        tolerance = self.delay_tolerance_us if tolerance_us is None else tolerance_us
+        low = max(trace.mean_load_gbps, 1e-6)
+        high = max(trace.peak_load_gbps(self.peak_bin_us), low) * 1.05 + 1e-6
+        if self.max_delay_at_rate(trace, low) <= tolerance:
+            return low
+        for _ in range(60):
+            mid = (low + high) / 2
+            if self.max_delay_at_rate(trace, mid) <= tolerance:
+                high = mid
+            else:
+                low = mid
+        return high
+
+    def shape(self, trace: Trace, rate_gbps: float, name: Optional[str] = None) -> Trace:
+        """Return a new trace whose arrivals are deferred to fit ``rate_gbps``."""
+        if rate_gbps <= 0:
+            raise ValueError("rate must be positive")
+        rate_bytes_per_us = rate_gbps * 1000.0
+        shaped = Trace(name=name or f"{trace.name}-shaped")
+        virtual_finish = 0.0
+        for event in trace.events:
+            start = max(event.timestamp_us, virtual_finish)
+            virtual_finish = start + event.size / rate_bytes_per_us
+            shaped.append(TraceEvent(start, event.kind, event.offset, event.size))
+        return shaped
+
+    # -- planning ------------------------------------------------------------------------
+    def plan(self, trace: Trace,
+             delay_tolerance_us: Optional[float] = None) -> SmoothingPlan:
+        """Size the shaped budget for ``trace`` and quantify the saving."""
+        tolerance = self.delay_tolerance_us if delay_tolerance_us is None \
+            else delay_tolerance_us
+        peak = trace.peak_load_gbps(self.peak_bin_us)
+        mean = trace.mean_load_gbps()
+        shaped_rate = self.minimum_rate(trace, tolerance) * self.headroom
+        shaped_rate = max(shaped_rate, mean)
+        unshaped_budget = peak * self.headroom
+        max_delay = self.max_delay_at_rate(trace, shaped_rate) if len(trace) else 0.0
+        return SmoothingPlan(
+            unshaped_peak_gbps=peak,
+            mean_load_gbps=mean,
+            unshaped_budget_gbps=unshaped_budget,
+            shaped_budget_gbps=min(shaped_rate, unshaped_budget),
+            max_shaping_delay_us=max_delay,
+            delay_tolerance_us=tolerance,
+        )

@@ -1,0 +1,119 @@
+"""Implication 3: rethink converting random writes into sequential writes.
+
+Log-structured designs (LSM trees, copy-on-write filesystems) turn random
+writes into sequential ones to spare local SSDs from GC -- at the price of
+write amplification from compaction/cleaning.  On an ESSD, sequential writes
+can actually be the *slower* pattern (Observation 3), which flips the
+trade-off.  The advisor combines the measured random/sequential gain with the
+software layer's own write amplification to decide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.metrics.stats import throughput_gain
+
+
+@dataclass(frozen=True)
+class WritePatternAdvice:
+    """Verdict on keeping a sequentializing (log-structured) write path."""
+
+    keep_sequentializing: bool
+    #: Measured device throughput gain of random over sequential writes.
+    device_gain: float
+    #: Effective application-level throughput ratio of writing in place versus
+    #: sequentializing (values > 1 favour writing in place / random writes).
+    in_place_advantage: float
+    rationale: str
+
+
+class WritePatternAdvisor:
+    """Decides between in-place (random) writes and sequentialized writes."""
+
+    def __init__(self, random_gbps: float, sequential_gbps: float):
+        if random_gbps < 0 or sequential_gbps < 0:
+            raise ValueError("throughputs must be non-negative")
+        self.random_gbps = random_gbps
+        self.sequential_gbps = sequential_gbps
+
+    @classmethod
+    def from_gain_grid(cls, grid: Mapping[tuple[int, int], tuple[float, float]],
+                       io_size: int, queue_depth: int) -> "WritePatternAdvisor":
+        """Build from a Figure-4-style grid of {(io_size, qd): (rand, seq)}."""
+        if (io_size, queue_depth) not in grid:
+            raise KeyError(f"no measurement for ({io_size}, {queue_depth})")
+        random_gbps, sequential_gbps = grid[(io_size, queue_depth)]
+        return cls(random_gbps, sequential_gbps)
+
+    @property
+    def device_gain(self) -> float:
+        """Random-over-sequential device throughput gain."""
+        return throughput_gain(self.random_gbps, self.sequential_gbps)
+
+    def advise(self, sequentialization_write_amplification: float = 1.3,
+               gc_sensitive_device: bool = False,
+               min_advantage: float = 1.05) -> WritePatternAdvice:
+        """Weigh the device gain against the software layer's amplification.
+
+        Parameters
+        ----------
+        sequentialization_write_amplification:
+            Extra bytes the log-structured layer writes per user byte
+            (compaction/cleaning); 1.0 means free sequentialization.
+        gc_sensitive_device:
+            ``True`` for a local SSD whose GC punishes random writes over
+            time -- in that case sequentializing is kept regardless of the
+            instantaneous gain.
+        min_advantage:
+            Advantage below which the advisor keeps the status quo
+            (sequentializing), to avoid churn for marginal wins.
+        """
+        if sequentialization_write_amplification < 1.0:
+            raise ValueError("write amplification cannot be below 1.0")
+        if gc_sensitive_device:
+            return WritePatternAdvice(
+                keep_sequentializing=True,
+                device_gain=self.device_gain,
+                in_place_advantage=0.0,
+                rationale=("the device's GC punishes sustained random writes; keep "
+                           "the log-structured write path"),
+            )
+        # Application-visible throughput: sequentialized path pays the layer's
+        # write amplification out of the sequential bandwidth; the in-place
+        # path uses random bandwidth directly.
+        sequential_effective = self.sequential_gbps / sequentialization_write_amplification
+        if sequential_effective <= 0:
+            advantage = float("inf")
+        else:
+            advantage = self.random_gbps / sequential_effective
+        keep = advantage < min_advantage
+        if keep:
+            rationale = (f"in-place writes would only be {advantage:.2f}x the "
+                         "sequentialized path; not worth restructuring")
+        else:
+            rationale = (f"in-place random writes deliver {advantage:.2f}x the "
+                         f"effective throughput of the sequentialized path "
+                         f"(device gain {self.device_gain:.2f}x, layer WA "
+                         f"{sequentialization_write_amplification:.2f})")
+        return WritePatternAdvice(
+            keep_sequentializing=keep,
+            device_gain=self.device_gain,
+            in_place_advantage=advantage,
+            rationale=rationale,
+        )
+
+    def proactive_random_write_benefit(self,
+                                       fraction_convertible: float = 0.5) -> float:
+        """Estimated speed-up from proactively issuing random writes in
+        sequential-write-based software (the second half of Implication 3).
+
+        ``fraction_convertible`` is the fraction of the write stream that can
+        be redirected to random placement without correctness impact.
+        """
+        if not 0 <= fraction_convertible <= 1:
+            raise ValueError("fraction_convertible must be in [0, 1]")
+        gain = self.device_gain
+        blended = (1 - fraction_convertible) + fraction_convertible * gain
+        return blended

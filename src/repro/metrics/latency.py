@@ -1,0 +1,114 @@
+"""Per-request latency recording and summaries.
+
+The paper reports average and P99.9 latency (Figure 2); the recorder keeps
+every sample so arbitrary percentiles, histograms, and distribution
+comparisons are available to tests and advisors as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency population (microseconds)."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p90_us: float
+    p99_us: float
+    p999_us: float
+    min_us: float
+    max_us: float
+    stddev_us: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "p50_us": self.p50_us,
+            "p90_us": self.p90_us,
+            "p99_us": self.p99_us,
+            "p999_us": self.p999_us,
+            "min_us": self.min_us,
+            "max_us": self.max_us,
+            "stddev_us": self.stddev_us,
+        }
+
+    @staticmethod
+    def empty() -> "LatencySummary":
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class LatencyRecorder:
+    """Collects latency samples (in microseconds) and summarises them."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._samples: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, latency_us: float) -> None:
+        """Add one sample."""
+        if latency_us < 0:
+            raise ValueError(f"negative latency: {latency_us}")
+        self._samples.append(latency_us)
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        """Add many samples."""
+        for value in latencies:
+            self.record(value)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The raw samples as a numpy array (copy)."""
+        return np.asarray(self._samples, dtype=np.float64)
+
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100)."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, q))
+
+    def p999(self) -> float:
+        """The P99.9 latency the paper reports."""
+        return self.percentile(99.9)
+
+    def summary(self) -> LatencySummary:
+        """Full summary of the recorded population."""
+        if not self._samples:
+            return LatencySummary.empty()
+        arr = np.asarray(self._samples, dtype=np.float64)
+        return LatencySummary(
+            count=len(arr),
+            mean_us=float(arr.mean()),
+            p50_us=float(np.percentile(arr, 50)),
+            p90_us=float(np.percentile(arr, 90)),
+            p99_us=float(np.percentile(arr, 99)),
+            p999_us=float(np.percentile(arr, 99.9)),
+            min_us=float(arr.min()),
+            max_us=float(arr.max()),
+            stddev_us=float(arr.std()),
+        )
+
+    def histogram(self, bins: int = 20,
+                  range_us: Optional[tuple[float, float]] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of the samples (counts, bin edges)."""
+        arr = np.asarray(self._samples, dtype=np.float64)
+        return np.histogram(arr, bins=bins, range=range_us)
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Return a new recorder containing both populations."""
+        merged = LatencyRecorder(f"{self.name}+{other.name}")
+        merged._samples = self._samples + other._samples
+        return merged

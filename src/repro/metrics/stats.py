@@ -1,0 +1,90 @@
+"""Comparison metrics used throughout the unwritten contract.
+
+* ``latency_gap`` -- the "multiples the ESSD latency is divided by the SSD
+  latency" metric of Figure 2.
+* ``throughput_gain`` -- the random-over-sequential throughput gain of
+  Figure 4.
+* ``coefficient_of_variation`` -- used by the Observation-4 check to decide
+  whether the maximum bandwidth is "deterministic".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``samples``; 0.0 when empty."""
+    if len(samples) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def latency_gap(essd_latency_us: float, ssd_latency_us: float) -> float:
+    """ESSD latency divided by SSD latency (smaller is better for the ESSD)."""
+    if essd_latency_us < 0 or ssd_latency_us < 0:
+        raise ValueError("latencies must be non-negative")
+    if ssd_latency_us == 0:
+        return float("inf") if essd_latency_us > 0 else 1.0
+    return essd_latency_us / ssd_latency_us
+
+
+def throughput_gain(random_gbps: float, sequential_gbps: float) -> float:
+    """Random-write throughput divided by sequential-write throughput."""
+    if random_gbps < 0 or sequential_gbps < 0:
+        raise ValueError("throughputs must be non-negative")
+    if sequential_gbps == 0:
+        return float("inf") if random_gbps > 0 else 1.0
+    return random_gbps / sequential_gbps
+
+
+def coefficient_of_variation(values: Iterable[float]) -> float:
+    """Standard deviation divided by mean; 0.0 for empty or zero-mean input."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def relative_range(values: Iterable[float]) -> float:
+    """(max - min) / mean -- an alternative determinism metric."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float((arr.max() - arr.min()) / mean)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, ignoring non-positive entries; 0.0 when none remain."""
+    arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def crossover_point(xs: Sequence[float], series_a: Sequence[float],
+                    series_b: Sequence[float]) -> float | None:
+    """First x at which ``series_a`` falls below ``series_b`` (linear interp).
+
+    Used by benchmark reports to locate where one device's throughput curve
+    crosses another's.  Returns ``None`` if no crossover occurs.
+    """
+    if not (len(xs) == len(series_a) == len(series_b)):
+        raise ValueError("all series must have the same length")
+    for index in range(1, len(xs)):
+        prev_diff = series_a[index - 1] - series_b[index - 1]
+        diff = series_a[index] - series_b[index]
+        if prev_diff >= 0 and diff < 0:
+            if prev_diff == diff:
+                return float(xs[index])
+            fraction = prev_diff / (prev_diff - diff)
+            return float(xs[index - 1] + fraction * (xs[index] - xs[index - 1]))
+    return None

@@ -1,0 +1,115 @@
+"""Throughput timelines: bytes completed per time bin.
+
+Figure 3 of the paper plots runtime throughput of a sustained random-write
+workload; Figure 5 plots steady-state throughput under mixed read/write
+ratios.  :class:`ThroughputTimeline` supports both: completions are recorded
+with their timestamp and byte count, then aggregated into fixed-width bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """Throughput over one time bin."""
+
+    start_us: float
+    end_us: float
+    bytes_completed: int
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def gigabytes_per_second(self) -> float:
+        """Throughput in GB/s (decimal gigabytes, as the paper plots)."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.bytes_completed / self.duration_us / 1000.0
+
+
+class ThroughputTimeline:
+    """Records (completion time, bytes) events and bins them."""
+
+    def __init__(self, name: str = "throughput"):
+        self.name = name
+        self._times: list[float] = []
+        self._bytes: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, time_us: float, num_bytes: int) -> None:
+        """Record one completion of ``num_bytes`` at ``time_us``."""
+        if num_bytes < 0:
+            raise ValueError(f"negative byte count: {num_bytes}")
+        if self._times and time_us < self._times[-1]:
+            raise ValueError("completions must be recorded in time order")
+        self._times.append(time_us)
+        self._bytes.append(num_bytes)
+
+    def record_many(self, events: Iterable[tuple[float, int]]) -> None:
+        for time_us, num_bytes in events:
+            self.record(time_us, num_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(sum(self._bytes))
+
+    @property
+    def duration_us(self) -> float:
+        if not self._times:
+            return 0.0
+        return self._times[-1] - self._times[0]
+
+    def average_gbps(self) -> float:
+        """Average throughput in GB/s across the recorded span."""
+        duration = self.duration_us
+        if duration <= 0:
+            return 0.0
+        return self.total_bytes / duration / 1000.0
+
+    def binned(self, bin_us: float) -> list[ThroughputSample]:
+        """Aggregate the timeline into fixed ``bin_us``-wide samples."""
+        if bin_us <= 0:
+            raise ValueError("bin width must be positive")
+        if not self._times:
+            return []
+        times = np.asarray(self._times)
+        payloads = np.asarray(self._bytes)
+        start = float(times[0])
+        end = float(times[-1])
+        num_bins = max(1, int(np.ceil((end - start) / bin_us)))
+        indices = np.minimum(((times - start) // bin_us).astype(int), num_bins - 1)
+        sums = np.bincount(indices, weights=payloads, minlength=num_bins)
+        samples = []
+        for index in range(num_bins):
+            bin_start = start + index * bin_us
+            samples.append(ThroughputSample(
+                start_us=bin_start,
+                end_us=bin_start + bin_us,
+                bytes_completed=int(sums[index]),
+            ))
+        return samples
+
+    def gbps_series(self, bin_us: float) -> tuple[np.ndarray, np.ndarray]:
+        """(bin centre times in seconds, GB/s values) for plotting/reporting."""
+        samples = self.binned(bin_us)
+        centres = np.asarray([(s.start_us + s.end_us) / 2 / 1e6 for s in samples])
+        values = np.asarray([s.gigabytes_per_second for s in samples])
+        return centres, values
+
+    def cumulative_bytes_at(self, time_us: float) -> int:
+        """Total bytes completed up to ``time_us`` (inclusive)."""
+        total = 0
+        for t, b in zip(self._times, self._bytes):
+            if t > time_us:
+                break
+            total += b
+        return total

@@ -1,0 +1,162 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` keeps a heap of ``(time, priority, sequence, event)``
+entries and processes them in order.  Simulation time is a float in
+**microseconds** by convention throughout the repository.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
+
+#: Priority used for ordinary events.
+PRIORITY_NORMAL = 1
+#: Priority used for "urgent" bookkeeping events processed before normal ones.
+PRIORITY_URGENT = 0
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> results = []
+    >>> def producer():
+    ...     yield sim.timeout(5)
+    ...     results.append(sim.now)
+    >>> _ = sim.process(producer())
+    >>> sim.run()
+    >>> results
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still sitting in the schedule."""
+        return len(self._queue)
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start ``generator`` as a simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        if not self._queue:
+            raise EmptySchedule()
+        event_time, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = event_time
+        event._run_callbacks()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` -- run until the schedule is exhausted.
+            * a float -- run until simulation time reaches that value.
+            * an :class:`Event` -- run until that event has been processed and
+              return its value.
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"run(until={stop_time}) is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if stop_time is not None and self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            raise SimulationError(
+                "run() ran out of events before the 'until' event triggered")
+        if stop_time is not None:
+            self._now = max(self._now, stop_time)
+        return None
+
+    def run_all(self, max_events: Optional[int] = None) -> int:
+        """Run until the schedule is empty; return the number of events processed.
+
+        ``max_events`` acts as a safety valve against runaway simulations.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            self.step()
+            processed += 1
+        return processed

@@ -1,0 +1,301 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on.  An
+event starts *untriggered*; calling :meth:`Event.succeed` (or
+:meth:`Event.fail`) schedules it on the simulator's event heap, and once the
+simulator pops it the event becomes *processed* and all registered callbacks
+run.  A :class:`Process` wraps a Python generator: the generator yields
+events, and the process resumes each time the yielded event is processed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (double trigger, etc.)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted by another process.
+
+    The ``cause`` attribute carries the object passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes may wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.engine.Simulator`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered: bool = False
+        self._processed: bool = False
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled (succeeded or failed)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the simulator has already run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded, ``False`` if it failed."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded with (or the exception it failed with)."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed with ``exception`` after ``delay``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the simulator does not re-raise it."""
+        self._defused = True
+
+    # -- internal ---------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if not self._ok and not self._defused:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process itself is an event: it triggers when the generator returns
+    (successfully, carrying the return value) or raises (failed, carrying the
+    exception).  Other processes can therefore ``yield`` a process to join it.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any]):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        waiting_on = self._waiting_on
+        if waiting_on is not None:
+            try:
+                waiting_on.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._waiting_on = None
+        interrupt_event = Event(self.sim)
+        interrupt_event.callbacks.append(self._resume_with_interrupt(cause))
+        interrupt_event.succeed()
+
+    def _resume_with_interrupt(self, cause: Any) -> Callable[[Event], None]:
+        def callback(_event: Event) -> None:
+            self._step(throw=Interrupt(cause))
+
+        return callback
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            event.defuse()
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self._triggered:
+            return
+        self.sim._active_process = self
+        try:
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate through the event
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(target, Event):
+            self._step(throw=SimulationError(
+                f"process yielded a non-event value: {target!r}"))
+            return
+        if target.processed:
+            # The event already ran its callbacks; resume immediately with
+            # its value on the next simulator step.
+            relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
+            if target.ok:
+                relay.succeed(target.value)
+            else:
+                target.defuse()
+                relay.fail(target.value)
+                relay.defuse()
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base class for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if not isinstance(event, Event):
+                raise TypeError(f"condition requires events, got {event!r}")
+        unprocessed = [event for event in self.events if not event.processed]
+        self._pending = len(unprocessed)
+        for event in unprocessed:
+            event.callbacks.append(self._observe)
+        self._check_initial()
+
+    def _check_initial(self) -> None:
+        raise NotImplementedError
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect_values(self) -> dict[Event, Any]:
+        return {event: event.value for event in self.events if event.processed and event.ok}
+
+
+class AllOf(_Condition):
+    """Triggers when *all* constituent events have triggered successfully."""
+
+    __slots__ = ()
+
+    def _check_initial(self) -> None:
+        if not self._triggered and self._pending == 0:
+            self.succeed(self._collect_values())
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending <= 0:
+            remaining = [e for e in self.events if not e.processed]
+            if not remaining:
+                self.succeed(self._collect_values())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as *any* constituent event triggers successfully."""
+
+    __slots__ = ()
+
+    def _check_initial(self) -> None:
+        if not self._triggered:
+            for event in self.events:
+                if event.processed and event.ok:
+                    self.succeed(self._collect_values())
+                    return
+            if not self.events:
+                self.succeed({})
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self.succeed(self._collect_values())

@@ -1,0 +1,19 @@
+"""Local flash SSD simulator.
+
+:class:`SsdDevice` implements :class:`repro.host.BlockDevice` on top of a
+full FTL: page-level address mapping, superblock-style striped allocation,
+greedy garbage collection, a DRAM write buffer, and a sequential-read
+prefetcher.  The shipped :func:`samsung_970pro_profile` configuration is
+calibrated so that the latency, bandwidth, and GC-cliff behaviour match the
+Samsung 970 Pro numbers reported in the paper (Table I, Figures 2-5).
+"""
+
+from repro.ssd.config import SsdConfig, samsung_970pro_profile, SAMSUNG_970PRO_PROFILE
+from repro.ssd.ssd import SsdDevice
+
+__all__ = [
+    "SsdConfig",
+    "SsdDevice",
+    "samsung_970pro_profile",
+    "SAMSUNG_970PRO_PROFILE",
+]

@@ -1,0 +1,167 @@
+"""Flash block allocation: per-die free lists and write frontiers.
+
+The allocation unit is a *die superblock*: the same block index across all
+planes of one die, erased together and filled by multi-plane program
+operations.  Two independent write frontiers exist per die -- one for host
+writes and one for GC relocation -- which gives the usual hot/cold stream
+separation.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.flash.geometry import FlashGeometry
+
+
+class BlockState(enum.Enum):
+    """Lifecycle state of an allocation block."""
+
+    FREE = "free"
+    OPEN = "open"
+    FULL = "full"
+
+
+class WriteStream(enum.Enum):
+    """Which frontier a write belongs to."""
+
+    HOST = "host"
+    GC = "gc"
+
+
+@dataclass
+class OpenBlock:
+    """A block currently being filled."""
+
+    block_id: int
+    next_slot: int = 0
+
+
+class BlockAllocator:
+    """Tracks block states and hands out slots for program operations."""
+
+    def __init__(self, geometry: FlashGeometry, slots_per_page: int):
+        self.geometry = geometry
+        self.slots_per_page = slots_per_page
+        self.total_dies = geometry.total_dies
+        self.blocks_per_die = geometry.blocks_per_plane
+        self.total_blocks = self.total_dies * self.blocks_per_die
+        self.slots_per_block = (geometry.planes_per_die * geometry.pages_per_block
+                                * slots_per_page)
+        self.program_unit_slots = geometry.planes_per_die * slots_per_page
+
+        self._free: list[deque[int]] = [deque() for _ in range(self.total_dies)]
+        for block_id in range(self.total_blocks):
+            self._free[self.die_of_block(block_id)].append(block_id)
+        self._state = [BlockState.FREE] * self.total_blocks
+        self._open: dict[tuple[int, WriteStream], OpenBlock] = {}
+        self._write_cursor = 0
+        self.erase_count = [0] * self.total_blocks
+
+    # -- geometry helpers ------------------------------------------------------
+    def die_of_block(self, block_id: int) -> int:
+        if not 0 <= block_id < self.total_blocks:
+            raise ValueError(f"block {block_id} out of range")
+        return block_id // self.blocks_per_die
+
+    def first_slot_of_block(self, block_id: int) -> int:
+        return block_id * self.slots_per_block
+
+    def block_of_slot(self, psn: int) -> int:
+        return psn // self.slots_per_block
+
+    def state_of(self, block_id: int) -> BlockState:
+        return self._state[block_id]
+
+    # -- free space accounting ---------------------------------------------------
+    def free_blocks(self, die: int) -> int:
+        """Number of free (erased, unopened) blocks on ``die``."""
+        return len(self._free[die])
+
+    def min_free_blocks(self) -> int:
+        """The smallest per-die free-block count (GC trigger input)."""
+        return min(len(queue) for queue in self._free)
+
+    def total_free_blocks(self) -> int:
+        return sum(len(queue) for queue in self._free)
+
+    def dies_below(self, watermark: int) -> list[int]:
+        """Dies whose free-block count is below ``watermark``."""
+        return [die for die, queue in enumerate(self._free) if len(queue) < watermark]
+
+    # -- allocation ----------------------------------------------------------------
+    def can_allocate(self, die: int, stream: WriteStream, reserve: int) -> bool:
+        """Whether ``die`` can accept a program for ``stream`` without dipping
+        into the GC reserve (host writes honour ``reserve``; GC ignores it)."""
+        open_block = self._open.get((die, stream))
+        if open_block is not None and open_block.next_slot < self.slots_per_block:
+            return True
+        minimum = 0 if stream is WriteStream.GC else reserve
+        return len(self._free[die]) > minimum
+
+    def pick_die(self, stream: WriteStream, reserve: int) -> Optional[int]:
+        """Round-robin die selection among dies that can accept a program."""
+        for step in range(self.total_dies):
+            die = (self._write_cursor + step) % self.total_dies
+            if self.can_allocate(die, stream, reserve):
+                self._write_cursor = (die + 1) % self.total_dies
+                return die
+        return None
+
+    def allocate_slots(self, die: int, count: int, stream: WriteStream,
+                       reserve: int) -> list[int]:
+        """Allocate up to ``count`` consecutive slots on ``die``.
+
+        Returns the physical slot numbers (possibly fewer than ``count`` if
+        the open block runs out; the caller simply issues another program for
+        the remainder).  Raises ``RuntimeError`` if the die has no usable
+        block -- callers must check :meth:`can_allocate` first.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        key = (die, stream)
+        open_block = self._open.get(key)
+        if open_block is None or open_block.next_slot >= self.slots_per_block:
+            if open_block is not None:
+                self._state[open_block.block_id] = BlockState.FULL
+            open_block = self._open_new_block(die, stream, reserve)
+            self._open[key] = open_block
+        available = self.slots_per_block - open_block.next_slot
+        granted = min(count, available)
+        base = self.first_slot_of_block(open_block.block_id) + open_block.next_slot
+        open_block.next_slot += granted
+        if open_block.next_slot >= self.slots_per_block:
+            self._state[open_block.block_id] = BlockState.FULL
+        return list(range(base, base + granted))
+
+    def _open_new_block(self, die: int, stream: WriteStream, reserve: int) -> OpenBlock:
+        minimum = 0 if stream is WriteStream.GC else reserve
+        if len(self._free[die]) <= minimum:
+            raise RuntimeError(
+                f"die {die} has no free block available for {stream.value} writes")
+        block_id = self._free[die].popleft()
+        self._state[block_id] = BlockState.OPEN
+        return OpenBlock(block_id=block_id, next_slot=0)
+
+    # -- GC support ------------------------------------------------------------------
+    def is_open(self, block_id: int) -> bool:
+        return self._state[block_id] is BlockState.OPEN
+
+    def gc_candidates(self, die: int) -> list[int]:
+        """Blocks on ``die`` that are FULL (eligible GC victims)."""
+        start = die * self.blocks_per_die
+        return [block_id for block_id in range(start, start + self.blocks_per_die)
+                if self._state[block_id] is BlockState.FULL]
+
+    def release_block(self, block_id: int) -> None:
+        """Return an erased block to its die's free list."""
+        if self._state[block_id] is BlockState.FREE:
+            raise ValueError(f"block {block_id} is already free")
+        if self._state[block_id] is BlockState.OPEN:
+            raise ValueError(f"block {block_id} is still open")
+        self._state[block_id] = BlockState.FREE
+        self.erase_count[block_id] += 1
+        self._free[self.die_of_block(block_id)].append(block_id)

@@ -1,0 +1,161 @@
+"""Greedy garbage collection.
+
+One background worker per die watches that die's free-block count.  When it
+drops below the low watermark the worker picks the FULL block with the fewest
+valid slots on that die, relocates the still-valid data through the GC write
+frontier, erases the block, and returns it to the free list.  Workers on
+different dies run in parallel (as real controllers do), but every worker
+competes with host I/O for its die and channel -- which is exactly what
+produces the local SSD's throughput collapse in Figure 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.ssd.allocator import WriteStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ssd.ftl import Ftl
+
+
+@dataclass
+class GcStats:
+    """Counters describing garbage-collection activity."""
+
+    invocations: int = 0
+    blocks_erased: int = 0
+    slots_relocated: int = 0
+    pages_read: int = 0
+    #: Simulation time (us) spent inside GC passes, summed over all per-die
+    #: workers (can exceed wall-clock simulation time).
+    busy_time_us: float = 0.0
+    #: (time_us, total_free_blocks) samples taken at each invocation.
+    pressure_samples: list = field(default_factory=list)
+
+
+class GarbageCollector:
+    """Per-die greedy garbage collectors for one :class:`~repro.ssd.ftl.Ftl`."""
+
+    def __init__(self, ftl: "Ftl"):
+        self.ftl = ftl
+        self.sim = ftl.sim
+        self.config = ftl.config
+        self.stats = GcStats()
+        self._dies = ftl.allocator.total_dies
+        self._wakeups: list = [None] * self._dies
+        self._active = [False] * self._dies
+        for die in range(self._dies):
+            self.sim.process(self._run(die))
+
+    # -- control -----------------------------------------------------------------
+    def kick(self, die: Optional[int] = None) -> None:
+        """Wake the collector for ``die`` (or all dies if ``None``)."""
+        dies = range(self._dies) if die is None else (die,)
+        for index in dies:
+            wakeup = self._wakeups[index]
+            if wakeup is not None and not wakeup.triggered:
+                wakeup.succeed(None)
+
+    @property
+    def is_active(self) -> bool:
+        """Whether any per-die worker is currently relocating or erasing."""
+        return any(self._active)
+
+    @property
+    def active_workers(self) -> int:
+        """Number of dies currently performing garbage collection."""
+        return sum(self._active)
+
+    def pressure(self) -> int:
+        """Smallest per-die free-block count (lower = more pressure)."""
+        return self.ftl.allocator.min_free_blocks()
+
+    # -- per-die worker -----------------------------------------------------------
+    def _run(self, die: int):
+        allocator = self.ftl.allocator
+        low = self.ftl.gc_low_watermark
+        high = self.ftl.gc_high_watermark
+        while True:
+            if allocator.free_blocks(die) >= low:
+                self._wakeups[die] = self.sim.event()
+                yield self._wakeups[die]
+                continue
+            progressed = False
+            while allocator.free_blocks(die) < high:
+                victim = self._select_victim(die)
+                if victim is None:
+                    break
+                started = self.sim.now
+                self._active[die] = True
+                try:
+                    yield from self._collect(die, victim)
+                finally:
+                    self._active[die] = False
+                self.stats.busy_time_us += self.sim.now - started
+                progressed = True
+            if not progressed:
+                # Nothing reclaimable on this die right now (all candidates
+                # fully valid); wait until the host invalidates something.
+                self._wakeups[die] = self.sim.event()
+                yield self._wakeups[die]
+
+    # -- victim selection -----------------------------------------------------------
+    def _select_victim(self, die: int) -> Optional[int]:
+        """Greedy: the FULL block on ``die`` with the fewest valid slots.
+
+        Returns ``None`` when no block would yield net free space (i.e. every
+        candidate is completely valid), which happens only when the logical
+        space is genuinely full of live data.
+        """
+        allocator = self.ftl.allocator
+        mapping = self.ftl.mapping
+        best_block = None
+        best_valid = allocator.slots_per_block  # exclude fully-valid blocks
+        for block_id in allocator.gc_candidates(die):
+            valid = mapping.valid_slots_in_block(block_id)
+            if valid < best_valid:
+                best_valid = valid
+                best_block = block_id
+        return best_block
+
+    # -- collection -----------------------------------------------------------------
+    def _collect(self, die: int, block_id: int):
+        ftl = self.ftl
+        allocator = ftl.allocator
+        mapping = ftl.mapping
+        self.stats.invocations += 1
+        self.stats.pressure_samples.append((self.sim.now, allocator.total_free_blocks()))
+
+        valid_lbns = mapping.valid_lbns_in_block(block_id)
+        if valid_lbns:
+            # Read every flash page that still holds valid data.
+            base_slot = allocator.first_slot_of_block(block_id)
+            pages = sorted({(mapping.lookup(lbn) - base_slot) // ftl.slots_per_page
+                            for lbn in valid_lbns
+                            if allocator.block_of_slot(mapping.lookup(lbn)) == block_id})
+            for _page in pages:
+                yield from ftl.flash.read_page(die, ftl.config.geometry.page_size)
+                self.stats.pages_read += 1
+            # Relocate through the GC frontier.  Blocks overwritten by the
+            # host in the meantime are skipped by the validity filter.
+            slot_lo = base_slot
+            slot_hi = base_slot + allocator.slots_per_block
+
+            def still_in_victim(lbn: int) -> bool:
+                slot = mapping.lookup(lbn)
+                return slot_lo <= slot < slot_hi
+
+            relocated = yield from ftl.write_slots(
+                valid_lbns, WriteStream.GC, validate=still_in_victim, preferred_die=die)
+            self.stats.slots_relocated += relocated
+
+        if mapping.valid_slots_in_block(block_id) != 0:
+            # The host raced a write into our relocation window; retry later.
+            return
+        yield from ftl.flash.erase_block(die)
+        mapping.clear_block(block_id)
+        allocator.release_block(block_id)
+        self.stats.blocks_erased += 1
+        ftl.notify_space_available()

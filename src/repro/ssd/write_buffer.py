@@ -1,0 +1,124 @@
+"""DRAM write buffer.
+
+Host writes land in the buffer at DRAM speed and are acknowledged
+immediately; background flusher workers (owned by the FTL) drain dirty
+logical blocks to flash.  This is the mechanism behind the paper's
+Observation 1 asymmetry: buffered writes are an order of magnitude faster
+than random reads on the local SSD, so the relative ESSD penalty is much
+larger for writes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Event, Simulator
+
+
+class WriteBuffer:
+    """Tracks dirty logical blocks awaiting flush, with bounded capacity."""
+
+    def __init__(self, sim: "Simulator", capacity_slots: int):
+        if capacity_slots <= 0:
+            raise ValueError("capacity_slots must be positive")
+        self.sim = sim
+        self.capacity_slots = capacity_slots
+        #: Dirty blocks in FIFO order; value is unused (ordered-set semantics).
+        self._dirty: OrderedDict[int, None] = OrderedDict()
+        #: Blocks currently being programmed by a flusher (still readable).
+        self._in_flight: set[int] = set()
+        self._space_waiters: list["Event"] = []
+        self._data_waiters: list["Event"] = []
+        self.total_absorbed = 0
+        self.overwrite_hits = 0
+
+    # -- state -------------------------------------------------------------------
+    @property
+    def used_slots(self) -> int:
+        return len(self._dirty) + len(self._in_flight)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity_slots - self.used_slots
+
+    @property
+    def dirty_slots(self) -> int:
+        return len(self._dirty)
+
+    def contains(self, lbn: int) -> bool:
+        """Whether a read of ``lbn`` can be served from the buffer."""
+        return lbn in self._dirty or lbn in self._in_flight
+
+    def is_empty(self) -> bool:
+        return not self._dirty and not self._in_flight
+
+    # -- host side -----------------------------------------------------------------
+    def has_room_for(self, lbn: int) -> bool:
+        """Whether inserting ``lbn`` needs no new space (overwrite) or fits."""
+        return lbn in self._dirty or self.free_slots > 0
+
+    def insert(self, lbn: int) -> None:
+        """Mark ``lbn`` dirty.  Caller must have checked :meth:`has_room_for`."""
+        self.total_absorbed += 1
+        if lbn in self._dirty:
+            self.overwrite_hits += 1
+            self._dirty.move_to_end(lbn)
+            return
+        if self.free_slots <= 0:
+            raise RuntimeError("write buffer overflow - caller must wait for space")
+        self._dirty[lbn] = None
+        self._notify_one(self._data_waiters)
+
+    def wait_for_space(self) -> "Event":
+        """Event that fires the next time flushing frees buffer space."""
+        event = self.sim.event()
+        self._space_waiters.append(event)
+        return event
+
+    def wait_for_data(self) -> "Event":
+        """Event that fires the next time a dirty block is inserted."""
+        event = self.sim.event()
+        self._data_waiters.append(event)
+        return event
+
+    # -- flusher side -----------------------------------------------------------------
+    def take_batch(self, max_slots: int) -> list[int]:
+        """Move up to ``max_slots`` dirty blocks to the in-flight set."""
+        if max_slots <= 0:
+            raise ValueError("max_slots must be positive")
+        batch: list[int] = []
+        while self._dirty and len(batch) < max_slots:
+            lbn, _ = self._dirty.popitem(last=False)
+            self._in_flight.add(lbn)
+            batch.append(lbn)
+        return batch
+
+    def complete_flush(self, lbns: list[int]) -> None:
+        """Drop flushed blocks from the buffer and wake space waiters."""
+        for lbn in lbns:
+            self._in_flight.discard(lbn)
+        self._notify(self._space_waiters)
+
+    def requeue(self, lbns: list[int]) -> None:
+        """Return an in-flight batch to the dirty set (flush aborted)."""
+        for lbn in lbns:
+            if lbn in self._in_flight:
+                self._in_flight.discard(lbn)
+                self._dirty[lbn] = None
+        self._notify(self._data_waiters)
+
+    # -- internals -----------------------------------------------------------------
+    def _notify(self, waiters: list["Event"]) -> None:
+        pending, waiters[:] = waiters[:], []
+        for event in pending:
+            if not event.triggered:
+                event.succeed(None)
+
+    def _notify_one(self, waiters: list["Event"]) -> None:
+        while waiters:
+            event = waiters.pop(0)
+            if not event.triggered:
+                event.succeed(None)
+                return

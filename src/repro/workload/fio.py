@@ -1,0 +1,214 @@
+"""FIO-style job specification and closed-loop execution.
+
+A :class:`FioJob` describes what FIO would be told on the command line:
+pattern, block size, queue depth, and a stop condition (I/O count, bytes, or
+runtime).  :func:`run_job` executes the job against any
+:class:`repro.host.BlockDevice` with ``queue_depth`` closed-loop workers
+(the behaviour of FIO's asynchronous engines) and returns a
+:class:`JobResult` with latency and throughput measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.host.device import BlockDevice
+from repro.host.io import IOKind, KiB
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.metrics.throughput import ThroughputTimeline
+from repro.workload.patterns import AccessPattern, make_pattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class FioJob:
+    """Declarative description of one workload job.
+
+    Exactly one of ``io_count``, ``total_bytes``, ``runtime_us`` must be set
+    as the stop condition (the first reached stops the job if several are
+    given).
+    """
+
+    name: str = "job"
+    pattern: str = "randread"
+    io_size: int = 4 * KiB
+    queue_depth: int = 1
+    #: Write fraction for the ``randrw`` pattern (0.0 - 1.0).
+    write_ratio: Optional[float] = None
+    #: Stop after this many I/Os.
+    io_count: Optional[int] = None
+    #: Stop after this many bytes have been transferred.
+    total_bytes: Optional[int] = None
+    #: Stop after this much simulated time (us).
+    runtime_us: Optional[float] = None
+    #: Restrict the job to the first ``region_bytes`` of the device
+    #: (``None`` = whole device).
+    region_bytes: Optional[int] = None
+    region_offset: int = 0
+    #: Warm-up I/Os whose latency is not recorded.
+    ramp_ios: int = 0
+    #: Think time inserted between consecutive I/Os of one worker (us).
+    think_time_us: float = 0.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.io_size <= 0:
+            raise ValueError("io_size must be positive")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.io_count is None and self.total_bytes is None and self.runtime_us is None:
+            raise ValueError("job needs a stop condition "
+                             "(io_count, total_bytes, or runtime_us)")
+        for name, value in (("io_count", self.io_count),
+                            ("total_bytes", self.total_bytes),
+                            ("runtime_us", self.runtime_us)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when given")
+        if self.ramp_ios < 0 or self.think_time_us < 0:
+            raise ValueError("ramp_ios and think_time_us must be non-negative")
+
+    def scaled(self, **changes) -> "FioJob":
+        """Copy of the job with some fields changed."""
+        return replace(self, **changes)
+
+
+@dataclass
+class JobResult:
+    """Measurements collected while running one job."""
+
+    job: FioJob
+    device_name: str
+    ios_completed: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    started_us: float = 0.0
+    finished_us: float = 0.0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    read_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    write_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    timeline: ThroughputTimeline = field(default_factory=ThroughputTimeline)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def duration_us(self) -> float:
+        return self.finished_us - self.started_us
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Average throughput in GB/s over the whole job."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.total_bytes / self.duration_us / 1000.0
+
+    @property
+    def write_throughput_gbps(self) -> float:
+        if self.duration_us <= 0:
+            return 0.0
+        return self.bytes_written / self.duration_us / 1000.0
+
+    @property
+    def read_throughput_gbps(self) -> float:
+        if self.duration_us <= 0:
+            return 0.0
+        return self.bytes_read / self.duration_us / 1000.0
+
+    @property
+    def iops(self) -> float:
+        """Average I/O operations per second."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.ios_completed / self.duration_us * 1e6
+
+    def latency_summary(self) -> LatencySummary:
+        return self.latency.summary()
+
+
+def _build_pattern(job: FioJob, device: BlockDevice) -> AccessPattern:
+    region = job.region_bytes if job.region_bytes is not None \
+        else device.capacity_bytes - job.region_offset
+    return make_pattern(job.pattern, region, job.io_size,
+                        write_ratio=job.write_ratio, seed=job.seed,
+                        region_offset=job.region_offset)
+
+
+def run_job(sim: "Simulator", device: BlockDevice, job: FioJob,
+            run: bool = True) -> JobResult:
+    """Execute ``job`` against ``device``.
+
+    With ``run=True`` (default) the simulator is advanced until the job
+    finishes and the populated :class:`JobResult` is returned.  With
+    ``run=False`` the job's processes are only scheduled (so several jobs can
+    run concurrently) and the caller advances the simulator itself.
+    """
+    result = JobResult(job=job, device_name=device.name, started_us=sim.now)
+    pattern = _build_pattern(job, device)
+    state = {
+        "issued": 0,
+        "stop": False,
+        "ramp_remaining": job.ramp_ios,
+    }
+    deadline = sim.now + job.runtime_us if job.runtime_us is not None else None
+
+    def should_stop() -> bool:
+        if state["stop"]:
+            return True
+        if job.io_count is not None and state["issued"] >= job.io_count:
+            return True
+        if job.total_bytes is not None and state["issued"] * job.io_size >= job.total_bytes:
+            return True
+        if deadline is not None and sim.now >= deadline:
+            return True
+        return False
+
+    def worker():
+        while not should_stop():
+            state["issued"] += 1
+            kind, offset = pattern.next()
+            event = device.read(offset, job.io_size) if kind is IOKind.READ \
+                else device.write(offset, job.io_size)
+            request = yield event
+            if state["ramp_remaining"] > 0:
+                state["ramp_remaining"] -= 1
+            else:
+                result.ios_completed += 1
+                result.latency.record(request.latency)
+                if kind is IOKind.READ:
+                    result.bytes_read += request.size
+                    result.read_latency.record(request.latency)
+                else:
+                    result.bytes_written += request.size
+                    result.write_latency.record(request.latency)
+                result.timeline.record(sim.now, request.size)
+            if job.think_time_us > 0:
+                yield sim.timeout(job.think_time_us)
+        result.finished_us = sim.now
+
+    workers = [sim.process(worker()) for _ in range(job.queue_depth)]
+
+    if job.runtime_us is not None:
+        def watchdog():
+            yield sim.timeout(job.runtime_us)
+            state["stop"] = True
+        sim.process(watchdog())
+
+    if run:
+        completion = sim.all_of(workers)
+        sim.run(until=completion)
+        result.finished_us = max(result.finished_us, sim.now)
+    return result
+
+
+def run_jobs(sim: "Simulator", device: BlockDevice, jobs: list[FioJob]) -> list[JobResult]:
+    """Run several jobs concurrently against one device and wait for all."""
+    results = [run_job(sim, device, job, run=False) for job in jobs]
+    sim.run()
+    for result in results:
+        if result.finished_us <= result.started_us:
+            result.finished_us = sim.now
+    return results

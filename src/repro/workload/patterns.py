@@ -1,0 +1,153 @@
+"""Address-pattern generators for workloads.
+
+A pattern produces ``(kind, offset)`` pairs given an I/O size and a target
+address range.  The four FIO patterns the paper uses map to:
+
+* ``randread`` / ``randwrite`` -- :class:`RandomPattern`
+* ``read`` / ``write`` (sequential) -- :class:`SequentialPattern`
+* ``randrw`` with a write percentage -- :class:`MixedPattern` wrapping a
+  random pattern.
+
+A Zipfian pattern is included for skewed-workload experiments (it is not used
+by the paper's figures but is exercised by the examples and advisors).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+import numpy as np
+
+from repro.host.io import IOKind
+
+
+class AccessPattern(abc.ABC):
+    """Produces the offsets (and kinds) of a workload's requests."""
+
+    def __init__(self, region_bytes: int, io_size: int, region_offset: int = 0):
+        if io_size <= 0:
+            raise ValueError("io_size must be positive")
+        if region_bytes < io_size:
+            raise ValueError("region must be at least one I/O in size")
+        self.region_bytes = region_bytes
+        self.io_size = io_size
+        self.region_offset = region_offset
+        self.slots = region_bytes // io_size
+
+    @abc.abstractmethod
+    def next_offset(self) -> int:
+        """The byte offset of the next request."""
+
+    def next_kind(self) -> IOKind:
+        """The kind of the next request (patterns are single-kind by default)."""
+        return IOKind.READ
+
+    def next(self) -> tuple[IOKind, int]:
+        """Convenience: (kind, offset) of the next request."""
+        return self.next_kind(), self.next_offset()
+
+
+class SequentialPattern(AccessPattern):
+    """Strictly increasing offsets, wrapping at the end of the region."""
+
+    def __init__(self, region_bytes: int, io_size: int, kind: IOKind = IOKind.READ,
+                 region_offset: int = 0, start_slot: int = 0):
+        super().__init__(region_bytes, io_size, region_offset)
+        self.kind = kind
+        self._cursor = start_slot % self.slots
+
+    def next_offset(self) -> int:
+        offset = self.region_offset + self._cursor * self.io_size
+        self._cursor = (self._cursor + 1) % self.slots
+        return offset
+
+    def next_kind(self) -> IOKind:
+        return self.kind
+
+
+class RandomPattern(AccessPattern):
+    """Uniformly random aligned offsets."""
+
+    def __init__(self, region_bytes: int, io_size: int, kind: IOKind = IOKind.READ,
+                 region_offset: int = 0, seed: int = 0):
+        super().__init__(region_bytes, io_size, region_offset)
+        self.kind = kind
+        self._rng = random.Random(seed)
+
+    def next_offset(self) -> int:
+        return self.region_offset + self._rng.randrange(self.slots) * self.io_size
+
+    def next_kind(self) -> IOKind:
+        return self.kind
+
+
+class ZipfianPattern(AccessPattern):
+    """Zipf-skewed offsets (hot spots), as produced by many real applications."""
+
+    def __init__(self, region_bytes: int, io_size: int, kind: IOKind = IOKind.READ,
+                 region_offset: int = 0, seed: int = 0, theta: float = 1.1):
+        super().__init__(region_bytes, io_size, region_offset)
+        if theta <= 1.0:
+            raise ValueError("theta must be > 1 for a proper Zipf distribution")
+        self.kind = kind
+        self.theta = theta
+        self._rng = np.random.default_rng(seed)
+        # A fixed permutation decorrelates rank from address.
+        self._permutation = np.random.default_rng(seed + 7).permutation(self.slots)
+
+    def next_offset(self) -> int:
+        rank = int(self._rng.zipf(self.theta))
+        slot = self._permutation[(rank - 1) % self.slots]
+        return self.region_offset + int(slot) * self.io_size
+
+    def next_kind(self) -> IOKind:
+        return self.kind
+
+
+class MixedPattern(AccessPattern):
+    """Wraps a base pattern and flips each request to WRITE with a probability."""
+
+    def __init__(self, base: AccessPattern, write_ratio: float, seed: int = 0):
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
+        super().__init__(base.region_bytes, base.io_size, base.region_offset)
+        self.base = base
+        self.write_ratio = write_ratio
+        self._rng = random.Random(seed)
+
+    def next_offset(self) -> int:
+        return self.base.next_offset()
+
+    def next_kind(self) -> IOKind:
+        return IOKind.WRITE if self._rng.random() < self.write_ratio else IOKind.READ
+
+
+def make_pattern(name: str, region_bytes: int, io_size: int,
+                 write_ratio: Optional[float] = None, seed: int = 0,
+                 region_offset: int = 0) -> AccessPattern:
+    """Build a pattern from a FIO-style name.
+
+    Supported names: ``read``, ``write``, ``randread``, ``randwrite``,
+    ``randrw`` (requires ``write_ratio``), ``zipfread``, ``zipfwrite``.
+    """
+    name = name.lower()
+    if name == "read":
+        return SequentialPattern(region_bytes, io_size, IOKind.READ, region_offset)
+    if name == "write":
+        return SequentialPattern(region_bytes, io_size, IOKind.WRITE, region_offset)
+    if name == "randread":
+        return RandomPattern(region_bytes, io_size, IOKind.READ, region_offset, seed)
+    if name == "randwrite":
+        return RandomPattern(region_bytes, io_size, IOKind.WRITE, region_offset, seed)
+    if name == "zipfread":
+        return ZipfianPattern(region_bytes, io_size, IOKind.READ, region_offset, seed)
+    if name == "zipfwrite":
+        return ZipfianPattern(region_bytes, io_size, IOKind.WRITE, region_offset, seed)
+    if name == "randrw":
+        if write_ratio is None:
+            raise ValueError("randrw requires a write_ratio")
+        base = RandomPattern(region_bytes, io_size, IOKind.READ, region_offset, seed)
+        return MixedPattern(base, write_ratio, seed=seed + 1)
+    raise ValueError(f"unknown pattern name: {name!r}")

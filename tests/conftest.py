@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite.
+
+Device fixtures use deliberately tiny capacities so that every test stays in
+the millisecond-to-second range; the full-scale behaviour is exercised by the
+benchmark harness instead.
+"""
+
+import pytest
+
+from repro.ebs import EssdDevice, alibaba_pl3_profile, aws_io2_profile
+from repro.host.io import MiB
+from repro.sim import Simulator
+from repro.ssd import SsdDevice, samsung_970pro_profile
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def small_ssd(sim):
+    return SsdDevice(sim, samsung_970pro_profile(128 * MiB))
+
+
+@pytest.fixture
+def small_essd1(sim):
+    return EssdDevice(sim, aws_io2_profile(256 * MiB))
+
+
+@pytest.fixture
+def small_essd2(sim):
+    return EssdDevice(sim, alibaba_pl3_profile(256 * MiB))
+
+
+def drive(sim, generator):
+    """Run a single process to completion and return its value."""
+    process = sim.process(generator)
+    sim.run(until=process)
+    return process.value

