@@ -1,0 +1,44 @@
+"""Smoke benchmark guard: the unit suite must finish within a wall-clock bound.
+
+The seed suite could hang forever on a scheduler bug; this guard runs the
+whole ``tests/`` directory in a subprocess and fails if it does not complete
+(successfully) within the budget.  It lives in ``benchmarks/`` so the child
+run (``tests/`` only) cannot recurse into it.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+#: Wall-clock budget for the whole unit suite (it completes in ~20 s; the
+#: bound leaves generous headroom for slow CI machines while still turning a
+#: hang into a failure within minutes).
+SUITE_BUDGET_SECONDS = 240.0
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.timeout(SUITE_BUDGET_SECONDS + 60)
+def test_unit_suite_completes_within_wall_clock_budget():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    started = time.monotonic()
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "tests", "-q",
+             "-p", "no:cacheprovider"],
+            cwd=_REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=SUITE_BUDGET_SECONDS,
+        )
+    except subprocess.TimeoutExpired:
+        pytest.fail(f"unit suite did not complete within "
+                    f"{SUITE_BUDGET_SECONDS:.0f}s (hang?)")
+    elapsed = time.monotonic() - started
+    tail = (proc.stdout or "")[-2000:] + (proc.stderr or "")[-500:]
+    assert proc.returncode == 0, f"unit suite failed after {elapsed:.1f}s:\n{tail}"
+    assert elapsed < SUITE_BUDGET_SECONDS

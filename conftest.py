@@ -1,0 +1,82 @@
+"""Root pytest configuration: a per-test wall-clock timeout guard.
+
+A simulator bug that stalls the event loop (e.g. a zero-delay wakeup cycle)
+used to freeze the whole suite.  Per-test timeouts turn such hangs into
+failures within seconds.  When the ``pytest-timeout`` plugin is installed
+(``pip install .[test]``) it provides the enforcement; this module is a
+dependency-free fallback for environments without it, implementing the same
+``timeout`` ini option and ``@pytest.mark.timeout(seconds)`` marker with a
+SIGALRM-based interrupt (POSIX main thread only -- exactly where this suite
+runs).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import signal
+
+import pytest
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+_HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+class SuiteTimeout(Exception):
+    """Raised inside a test that exceeded its wall-clock budget."""
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        parser.addini(
+            "timeout",
+            "Per-test timeout in seconds (fallback implementation; install "
+            "pytest-timeout for the full-featured plugin)",
+            default="0",
+        )
+
+
+def pytest_configure(config):
+    if not _HAVE_PYTEST_TIMEOUT:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): override the per-test wall-clock timeout",
+        )
+
+
+def _budget_seconds(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+# The legacy hookwrapper protocol keeps this fallback importable on old
+# pytest versions (wrapper=True needs pytest >= 7.4, and minimal
+# environments are exactly where this fallback runs).
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if _HAVE_PYTEST_TIMEOUT or not _HAVE_SIGALRM:
+        # pytest-timeout enforces the budget itself; without SIGALRM
+        # (non-POSIX) there is no safe interruption mechanism.
+        yield
+        return
+    seconds = _budget_seconds(item)
+    if seconds <= 0:
+        yield
+        return
+
+    def _on_alarm(_signum, _frame):
+        raise SuiteTimeout(
+            f"{item.nodeid} exceeded the {seconds:.0f}s per-test timeout "
+            "(fallback guard; see conftest.py)")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,4 +1,21 @@
 """Setup shim for environments without PEP 517 wheel support."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        # The suite runs with a per-test timeout (pytest.ini); pytest-timeout
+        # enforces it when installed, with a SIGALRM fallback in conftest.py
+        # for minimal environments.
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "pytest-timeout",
+            "hypothesis",
+        ],
+    },
+)

@@ -9,6 +9,7 @@ the group to spread load).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 #: Knuth's multiplicative hash constant, used for deterministic placement.
@@ -52,8 +53,22 @@ class ChunkMap:
         if not 0 <= chunk_index < self.num_chunks:
             raise ValueError(f"chunk {chunk_index} out of range")
         start = ((chunk_index + self.seed) * _HASH_MULTIPLIER) % self.num_nodes
-        stride = 1 + (((chunk_index + self.seed) * 40503) % (self.num_nodes - 1)) \
-            if self.num_nodes > self.replication_factor else 1
+        # The walk from ``start`` visits nodes at a fixed stride.  A stride
+        # sharing a factor with ``num_nodes`` only ever reaches the coset
+        # ``{start + k*gcd(stride, num_nodes)}`` -- for example stride 2 on 8
+        # nodes touches 4 of them -- so a replication factor above that coset
+        # size would loop forever.  Strides co-prime with ``num_nodes``
+        # generate the full cyclic group (every node is reached within
+        # ``num_nodes`` steps), so we derive a candidate stride from the hash
+        # and then advance it until ``gcd(stride, num_nodes) == 1``; stride 1
+        # (linear probing) is always co-prime, so the search terminates.
+        if self.num_nodes > self.replication_factor:
+            stride = 1 + (((chunk_index + self.seed) * 40503)
+                          % (self.num_nodes - 1))
+            while math.gcd(stride, self.num_nodes) != 1:
+                stride = stride % self.num_nodes + 1
+        else:
+            stride = 1
         group = []
         node = start
         while len(group) < self.replication_factor:

@@ -177,7 +177,11 @@ def aws_io2_profile(capacity_bytes: int = 4 * GiB) -> EssdProfile:
         per_subrequest_overhead_us=6.0,
         network=NetworkProfile(
             one_way_latency_us=62.0,
-            flow_bytes_per_us=430.0,
+            # Per-flow serialization must comfortably exceed the volume's
+            # 3.0 GB/s budget (a ~25 GbE storage NIC), or large-I/O reads
+            # could never reach the purchased throughput (Figure 5's flat
+            # budget line).
+            flow_bytes_per_us=1250.0,
             jitter_mean_us=10.0,
         ),
         node=NodeProfile(
@@ -189,7 +193,7 @@ def aws_io2_profile(capacity_bytes: int = 4 * GiB) -> EssdProfile:
             seq_read_processing_us=285.0,
             media_write_us=25.0,
             media_read_us=80.0,
-            media_read_bytes_per_us=650.0,
+            media_read_bytes_per_us=2500.0,
         ),
         qos=QosProfile(
             max_throughput_bytes_per_us=3000.0,

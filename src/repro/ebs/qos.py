@@ -68,9 +68,13 @@ class QosManager:
         if bytes_per_us <= 0:
             raise ValueError("flow limit rate must be positive")
         if self._write_limit_bucket is None:
+            # ``initial=0``: throttling takes effect immediately.  Starting the
+            # bucket full would let a whole burst through at the old rate right
+            # after the provider decided to limit the volume.
             self._write_limit_bucket = TokenBucket(
                 self.sim, rate=bytes_per_us,
-                capacity=max(self.profile.burst_bytes, 1024 * 1024))
+                capacity=max(self.profile.burst_bytes, 1024 * 1024),
+                initial=0.0)
         else:
             self._write_limit_bucket.set_rate(bytes_per_us)
 
@@ -89,20 +93,10 @@ class QosManager:
         tokens = self.iops_tokens_for(size)
         yield self._iops_bucket.consume(tokens)
         if size > 0:
-            remaining = size
-            burst = int(self._byte_bucket.capacity)
-            while remaining > 0:
-                take = min(remaining, burst)
-                yield self._byte_bucket.consume(take)
-                remaining -= take
+            yield from self._byte_bucket.consume_sliced(size)
         if kind is IOKind.WRITE and self._write_limit_bucket is not None:
             self.stats.flow_limited_requests += 1
-            remaining = size
-            burst = int(self._write_limit_bucket.capacity)
-            while remaining > 0:
-                take = min(remaining, burst)
-                yield self._write_limit_bucket.consume(take)
-                remaining -= take
+            yield from self._write_limit_bucket.consume_sliced(size)
         self.stats.requests_admitted += 1
         self.stats.bytes_admitted += size
         self.stats.iops_tokens_charged += tokens

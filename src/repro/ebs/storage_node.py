@@ -38,9 +38,15 @@ class StorageNode:
         self.node_id = node_id
         self.profile = profile
         self._slots = Resource(sim, capacity=profile.concurrency)
+        # The burst allowance must stay well below a chunk: a multi-MiB burst
+        # would let an entire chunk's replica stream through without ever
+        # touching the sustained rate, erasing the single-placement-group
+        # bottleneck that makes sequential writes slower than random ones
+        # (the paper's Observation 3).  ~500 us worth of tokens absorbs
+        # request-level jitter without hiding the rate limit.
         self._bandwidth = TokenBucket(
             sim, rate=profile.bandwidth_bytes_per_us,
-            capacity=max(4 * 1024 * 1024, profile.bandwidth_bytes_per_us * 500))
+            capacity=min(4 * 1024 * 1024, profile.bandwidth_bytes_per_us * 500))
         self.stats = StorageNodeStats()
 
     @property
@@ -62,7 +68,7 @@ class StorageNode:
         charge = max(num_bytes, self.profile.min_charge_bytes)
         yield self._slots.request()
         try:
-            yield self._bandwidth.consume(charge)
+            yield from self._bandwidth.consume_sliced(charge)
             yield self.sim.timeout(self.profile.write_processing_us
                                    + self.profile.media_write_us)
         finally:
@@ -87,7 +93,7 @@ class StorageNode:
         streaming = num_bytes / self.profile.media_read_bytes_per_us
         yield self._slots.request()
         try:
-            yield self._bandwidth.consume(num_bytes)
+            yield from self._bandwidth.consume_sliced(num_bytes)
             yield self.sim.timeout(processing + streaming)
         finally:
             self._slots.release()

@@ -1,11 +1,31 @@
-"""Reproduction of the paper's evaluation section: Table I and Figures 2-5.
+"""Reproduction of the paper's evaluation section, plus open-ended sweeps.
 
-Each module regenerates one artifact; :func:`run_all` runs everything and
-renders a combined text report.  See DESIGN.md for the per-experiment index
-and EXPERIMENTS.md for paper-vs-measured numbers.
+Each ``figure*`` module regenerates one paper artifact; :func:`run_all` runs
+everything and renders a combined text report.  Beyond the paper's grid, the
+scenario-sweep subsystem (:mod:`repro.experiments.scenarios`,
+:mod:`repro.experiments.sweep`) turns the same machinery into an open-ended
+characterization harness: named scenarios expand parameter grids into
+independent cells, execute across worker processes, and cache results as
+JSON.  ``python -m repro.experiments`` lists, runs, and diffs scenarios.
 """
 
 from repro.experiments.common import DeviceKind, ExperimentScale, build_device, measure_cell
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario,
+)
+from repro.experiments.sweep import (
+    CellSpec,
+    SweepResult,
+    SweepRunner,
+    diff_results,
+    expand_grid,
+    run_cell,
+    spec_hash,
+)
 from repro.experiments.figure2 import Figure2Result, run_figure2
 from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.figure4 import Figure4Result, run_figure4
@@ -18,6 +38,18 @@ __all__ = [
     "ExperimentScale",
     "build_device",
     "measure_cell",
+    "ScenarioSpec",
+    "scenario",
+    "register",
+    "get_scenario",
+    "all_scenarios",
+    "CellSpec",
+    "SweepRunner",
+    "SweepResult",
+    "run_cell",
+    "expand_grid",
+    "spec_hash",
+    "diff_results",
     "run_table1",
     "render_table1",
     "run_figure2",

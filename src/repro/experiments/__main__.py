@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` -- scenario-sweep CLI entry point."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

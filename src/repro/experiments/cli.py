@@ -1,0 +1,184 @@
+"""Command-line interface for the scenario-sweep subsystem.
+
+Usage (module entry point)::
+
+    python -m repro.experiments list                 # registered scenarios
+    python -m repro.experiments run rand-vs-seq-write --parallel --out out.json
+    python -m repro.experiments run figure4 --serial --quick
+    python -m repro.experiments diff before.json after.json --metric iops
+    python -m repro.experiments report --quick       # full paper report
+
+``run`` executes a registered scenario through :class:`SweepRunner`
+(parallel across worker processes by default), caches per-cell JSON results
+under ``--cache-dir`` (default ``.sweep-cache`` or ``$REPRO_SWEEP_CACHE``),
+prints a metrics table, and optionally saves the whole sweep to ``--out``.
+``diff`` compares two saved sweeps cell-by-cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments import runner as paper_runner  # noqa: F401  (registers run_all)
+from repro.experiments import table1
+from repro.experiments.common import format_table
+from repro.experiments.scenarios import all_scenarios, get_scenario
+from repro.experiments.sweep import (
+    DEFAULT_CACHE_DIR,
+    SweepResult,
+    SweepRunner,
+    diff_results,
+    quick_cells,
+)
+
+#: Metrics columns printed by ``run`` (in order).
+_TABLE_METRICS = ("mean_us", "p999_us", "throughput_gbps", "iops")
+
+
+def _cmd_list(_args) -> int:
+    rows = []
+    for spec in all_scenarios():
+        rows.append([spec.name, str(len(spec.cells())),
+                     ",".join(spec.tags) or "-", spec.description])
+    print(format_table(["Scenario", "Cells", "Tags", "Description"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if spec.name == "table1":
+        print(table1.render_table1(table1.run_table1()))
+        return 0
+    cells = spec.cells()
+    if args.quick:
+        cells = quick_cells(cells)
+    if not cells:
+        print(f"scenario {spec.name!r} has no cells")
+        return 1
+    runner = SweepRunner(
+        parallel=not args.serial,
+        max_workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        force=args.force,
+    )
+    started = time.monotonic()
+    result = runner.run_cells(spec.name, cells)
+    elapsed = time.monotonic() - started
+    label_keys = sorted({key for outcome in result.outcomes
+                         for key in outcome.params})
+    headers = label_keys + list(_TABLE_METRICS) + ["cached"]
+    rows = []
+    for outcome in result.outcomes:
+        row = [str(outcome.params.get(key, "-")) for key in label_keys]
+        for metric in _TABLE_METRICS:
+            value = outcome.metrics.get(metric)
+            row.append("-" if value is None else f"{value:.2f}")
+        row.append("yes" if outcome.cached else "no")
+        rows.append(row)
+    print(f"# {spec.name}: {spec.description}")
+    print(format_table(headers, rows))
+    mode = "serial" if args.serial else f"parallel x{runner.max_workers or 'auto'}"
+    print(f"{len(result)} cells in {elapsed:.1f}s ({mode}, "
+          f"{result.cache_hits} cached)")
+    if args.out:
+        path = result.save(args.out)
+        print(f"sweep saved to {path}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    try:
+        a = SweepResult.load(args.a)
+        b = SweepResult.load(args.b)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (KeyError, json.JSONDecodeError, TypeError) as error:
+        print(f"error: not a sweep-result file (save one with 'run --out'): "
+              f"{error!r}", file=sys.stderr)
+        return 2
+    rows = diff_results(a, b, metric=args.metric)
+    table = []
+    regressions = 0
+    for row in rows:
+        change = row["relative_change"]
+        if change is not None and abs(change) > args.tolerance:
+            regressions += 1
+        labels = row["labels"] or row["cell"]
+        table.append([
+            json.dumps(labels, sort_keys=True),
+            "-" if row[f"{args.metric}_a"] is None else f"{row[f'{args.metric}_a']:.3f}",
+            "-" if row[f"{args.metric}_b"] is None else f"{row[f'{args.metric}_b']:.3f}",
+            "-" if change is None else f"{change:+.1%}",
+        ])
+    print(format_table(["Cell", f"{args.metric} (A)", f"{args.metric} (B)",
+                        "Change"], table))
+    print(f"{regressions} cells changed beyond +-{args.tolerance:.0%}")
+    return 1 if regressions and args.fail_on_change else 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.runner import run_all
+    report = run_all(quick=args.quick)
+    print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Scenario sweeps over the simulated SSD/ESSD devices.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios").set_defaults(
+        func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one scenario sweep")
+    run_parser.add_argument("scenario")
+    run_parser.add_argument("--serial", action="store_true",
+                            help="run cells in-process instead of worker processes")
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="worker-process count (default: CPU count)")
+    run_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="disable the result cache entirely")
+    run_parser.add_argument("--force", action="store_true",
+                            help="ignore cached results and re-run")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="shrink per-cell I/O budgets for a fast pass")
+    run_parser.add_argument("--out", default=None,
+                            help="save the sweep result JSON to this path")
+    run_parser.set_defaults(func=_cmd_run)
+
+    diff_parser = sub.add_parser("diff", help="compare two saved sweep results")
+    diff_parser.add_argument("a")
+    diff_parser.add_argument("b")
+    diff_parser.add_argument("--metric", default="throughput_gbps")
+    diff_parser.add_argument("--tolerance", type=float, default=0.05)
+    diff_parser.add_argument("--fail-on-change", action="store_true")
+    diff_parser.set_defaults(func=_cmd_diff)
+
+    report_parser = sub.add_parser("report",
+                                   help="render the full paper report (Table I, "
+                                        "Figures 2-5)")
+    report_parser.add_argument("--quick", action="store_true")
+    report_parser.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

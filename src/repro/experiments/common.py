@@ -70,13 +70,19 @@ def build_device(sim: Simulator, kind: DeviceKind,
 
 def measure_cell(kind: DeviceKind, job: FioJob,
                  scale: Optional[ExperimentScale] = None,
-                 preload: bool = True) -> JobResult:
-    """Run one (device, job) cell on a fresh simulator and return its result."""
+                 preload: bool = True, return_device: bool = False):
+    """Run one (device, job) cell on a fresh simulator and return its result.
+
+    With ``return_device=True`` the ``(result, device)`` pair is returned so
+    callers can read device statistics (write amplification, flow-limit
+    state) after the run.
+    """
     sim = Simulator()
     device = build_device(sim, kind, scale)
     if preload:
         device.preload()
-    return run_job(sim, device, job)
+    result = run_job(sim, device, job)
+    return (result, device) if return_device else result
 
 
 def format_table(headers: list[str], rows: list[list[str]]) -> str:

@@ -11,15 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.experiments.common import (
-    DeviceKind,
-    ExperimentScale,
-    format_table,
-    measure_cell,
-)
+from repro.experiments.common import DeviceKind, ExperimentScale, format_table
+from repro.experiments.scenarios import register, scenario
+from repro.experiments.sweep import CellSpec, SweepRunner
 from repro.host.io import KiB
 from repro.metrics.stats import latency_gap
-from repro.workload.fio import FioJob
 
 #: The four access patterns of Figure 2, in paper order.
 PATTERNS = ("randwrite", "write", "randread", "read")
@@ -115,43 +111,75 @@ def _format_latency(value_us: float) -> str:
     return f"{value_us:.0f}u"
 
 
+def figure2_cells(scale: Optional[ExperimentScale] = None,
+                  io_sizes: Sequence[int] = DEFAULT_IO_SIZES,
+                  queue_depths: Sequence[int] = DEFAULT_QUEUE_DEPTHS,
+                  ios_per_cell: int = 250,
+                  devices: Sequence[DeviceKind] = (DeviceKind.SSD, DeviceKind.ESSD1,
+                                                   DeviceKind.ESSD2),
+                  patterns: Sequence[str] = PATTERNS) -> list[CellSpec]:
+    """The Figure 2 grid as independent sweep cells."""
+    scale = scale or ExperimentScale.default()
+    cells = []
+    for device in devices:
+        for pattern in patterns:
+            for io_size in io_sizes:
+                for queue_depth in queue_depths:
+                    cells.append(CellSpec(
+                        device=device.value,
+                        pattern=pattern,
+                        io_size=io_size,
+                        queue_depth=queue_depth,
+                        io_count=max(ios_per_cell, queue_depth * 20),
+                        seed=17,
+                        preload=pattern.endswith("read"),
+                        ssd_capacity_bytes=scale.ssd_capacity_bytes,
+                        essd_capacity_bytes=scale.essd_capacity_bytes,
+                        labels=(("device", device.value), ("io_size", io_size),
+                                ("pattern", pattern), ("queue_depth", queue_depth)),
+                    ))
+    return cells
+
+
 def run_figure2(scale: Optional[ExperimentScale] = None,
                 io_sizes: Sequence[int] = DEFAULT_IO_SIZES,
                 queue_depths: Sequence[int] = DEFAULT_QUEUE_DEPTHS,
                 ios_per_cell: int = 250,
                 devices: Sequence[DeviceKind] = (DeviceKind.SSD, DeviceKind.ESSD1,
                                                  DeviceKind.ESSD2),
-                patterns: Sequence[str] = PATTERNS) -> Figure2Result:
-    """Measure the Figure 2 latency grid.
+                patterns: Sequence[str] = PATTERNS,
+                runner: Optional[SweepRunner] = None) -> Figure2Result:
+    """Measure the Figure 2 latency grid through the sweep runner.
 
     The default grid is reduced relative to the paper's (3 sizes x 3 queue
     depths instead of 4 x 5) to keep the harness fast; pass
     ``io_sizes=PAPER_IO_SIZES, queue_depths=PAPER_QUEUE_DEPTHS`` for the full
-    grid.
+    grid.  Pass a parallel :class:`SweepRunner` to spread cells over worker
+    processes and/or cache results.
     """
-    scale = scale or ExperimentScale.default()
+    cells = figure2_cells(scale, io_sizes, queue_depths, ios_per_cell,
+                          devices, patterns)
+    sweep = (runner or SweepRunner()).run_cells("figure2", cells)
     result = Figure2Result(io_sizes=tuple(io_sizes), queue_depths=tuple(queue_depths))
-    for device in devices:
-        for pattern in patterns:
-            for io_size in io_sizes:
-                for queue_depth in queue_depths:
-                    job = FioJob(
-                        name=f"fig2-{device.value}-{pattern}-{io_size}-{queue_depth}",
-                        pattern=pattern,
-                        io_size=io_size,
-                        queue_depth=queue_depth,
-                        io_count=max(ios_per_cell, queue_depth * 20),
-                        seed=17,
-                    )
-                    measured = measure_cell(device, job, scale,
-                                            preload=pattern.endswith("read"))
-                    summary = measured.latency.summary()
-                    result.cells.append(LatencyCell(
-                        device=device,
-                        pattern=pattern,
-                        io_size=io_size,
-                        queue_depth=queue_depth,
-                        mean_us=summary.mean_us,
-                        p999_us=summary.p999_us,
-                    ))
+    for outcome in sweep.outcomes:
+        labels = outcome.params
+        result.cells.append(LatencyCell(
+            device=DeviceKind(labels["device"]),
+            pattern=labels["pattern"],
+            io_size=labels["io_size"],
+            queue_depth=labels["queue_depth"],
+            mean_us=outcome.metrics["mean_us"],
+            p999_us=outcome.metrics["p999_us"],
+        ))
     return result
+
+
+register(scenario(
+    "figure2",
+    "Paper Figure 2: ESSD vs SSD latency grid (pattern x size x depth)",
+    devices=("SSD", "ESSD-1", "ESSD-2"),
+    tags=("paper", "latency"),
+    cell_builder=lambda: figure2_cells(
+        ExperimentScale.small(), io_sizes=(4 * KiB, 262144),
+        queue_depths=(1, 8), ios_per_cell=80),
+))

@@ -11,15 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.experiments.common import (
-    DeviceKind,
-    ExperimentScale,
-    build_device,
-    format_table,
-)
-from repro.host.io import KiB
-from repro.sim import Simulator
-from repro.workload.fio import FioJob, run_job
+from repro.experiments.common import DeviceKind, ExperimentScale, format_table
+from repro.experiments.scenarios import register, scenario
+from repro.experiments.sweep import CellSpec, SweepRunner
+from repro.host.io import KiB, MiB
 
 
 @dataclass
@@ -82,45 +77,81 @@ class Figure3Result:
                 + format_table(headers, rows))
 
 
+def figure3_cells(scale: Optional[ExperimentScale] = None,
+                  capacity_factor: float = 3.0,
+                  io_size: int = 128 * KiB,
+                  queue_depth: int = 32,
+                  bin_us: float = 100_000.0,
+                  devices: Sequence[DeviceKind] = (DeviceKind.SSD, DeviceKind.ESSD1,
+                                                   DeviceKind.ESSD2)) -> list[CellSpec]:
+    """The sustained-write flood as one sweep cell per device.
+
+    The series bin width adapts inside the runner (``bin_us`` is an upper
+    bound): at small test scales the whole flood lasts a few hundred
+    milliseconds, and fixed 100 ms bins would locate the GC cliff with
+    +-0.6x-capacity resolution.
+    """
+    scale = scale or ExperimentScale.default()
+    cells = []
+    for kind in devices:
+        capacity = scale.capacity_of(kind)
+        cells.append(CellSpec(
+            device=kind.value,
+            pattern="randwrite",
+            io_size=io_size,
+            queue_depth=queue_depth,
+            total_bytes=int(capacity_factor * capacity),
+            seed=29,
+            preload=False,
+            ssd_capacity_bytes=scale.ssd_capacity_bytes,
+            essd_capacity_bytes=scale.essd_capacity_bytes,
+            series_bin_us=bin_us,
+            labels=(("capacity_bytes", capacity), ("device", kind.value)),
+        ))
+    return cells
+
+
 def run_figure3(scale: Optional[ExperimentScale] = None,
                 capacity_factor: float = 3.0,
                 io_size: int = 128 * KiB,
                 queue_depth: int = 32,
                 bin_us: float = 100_000.0,
                 devices: Sequence[DeviceKind] = (DeviceKind.SSD, DeviceKind.ESSD1,
-                                                 DeviceKind.ESSD2)) -> Figure3Result:
-    """Run the sustained random-write experiment for each device."""
-    scale = scale or ExperimentScale.default()
+                                                 DeviceKind.ESSD2),
+                runner: Optional[SweepRunner] = None) -> Figure3Result:
+    """Run the sustained random-write experiment through the sweep runner."""
+    cells = figure3_cells(scale, capacity_factor, io_size, queue_depth, bin_us,
+                          devices)
+    sweep = (runner or SweepRunner()).run_cells("figure3", cells)
     figure = Figure3Result(capacity_factor=capacity_factor)
-    for kind in devices:
-        sim = Simulator()
-        device = build_device(sim, kind, scale)
-        capacity = device.capacity_bytes
-        job = FioJob(
-            name=f"fig3-{kind.value}",
-            pattern="randwrite",
-            io_size=io_size,
-            queue_depth=queue_depth,
-            total_bytes=int(capacity_factor * capacity),
-            seed=29,
-        )
-        measured = run_job(sim, device, job)
-        samples = measured.timeline.binned(bin_us)
+    for outcome in sweep.outcomes:
+        kind = DeviceKind(outcome.params["device"])
+        capacity = outcome.params["capacity_bytes"]
         series = []
         written = 0
-        for sample in samples:
-            written += sample.bytes_completed
-            series.append((written, sample.gigabytes_per_second))
+        for bytes_completed, gbps in outcome.metrics.get("series", []):
+            written += bytes_completed
+            series.append((written, gbps))
         result = SustainedWriteResult(
             device=kind,
             capacity_bytes=capacity,
             series=series,
             peak_gbps=max((gbps for _, gbps in series), default=0.0),
             final_gbps=series[-1][1] if series else 0.0,
+            write_amplification=outcome.metrics.get("write_amplification"),
+            flow_limited=outcome.metrics.get("flow_limited", False),
         )
-        if hasattr(device, "write_amplification"):
-            result.write_amplification = device.write_amplification
-        if hasattr(device, "flow_limited"):
-            result.flow_limited = device.flow_limited
         figure.results[kind] = result
     return figure
+
+
+register(scenario(
+    "figure3",
+    "Paper Figure 3: sustained random-write flood (GC cliff vs flow limit)",
+    devices=("SSD", "ESSD-1", "ESSD-2"),
+    tags=("paper", "gc"),
+    cell_builder=lambda: figure3_cells(
+        ExperimentScale(ssd_capacity_bytes=128 * MiB,
+                        essd_capacity_bytes=128 * MiB),
+        capacity_factor=1.6),
+))

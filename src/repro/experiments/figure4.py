@@ -12,15 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.experiments.common import (
-    DeviceKind,
-    ExperimentScale,
-    format_table,
-    measure_cell,
-)
+from repro.experiments.common import DeviceKind, ExperimentScale, format_table
+from repro.experiments.scenarios import register, scenario
+from repro.experiments.sweep import CellSpec, SweepRunner
 from repro.host.io import KiB
 from repro.metrics.stats import throughput_gain
-from repro.workload.fio import FioJob
 
 #: Full paper grid.
 PAPER_IO_SIZES = (4 * KiB, 8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB)
@@ -84,36 +80,70 @@ class Figure4Result:
                 + format_table(headers, rows))
 
 
-def run_figure4(scale: Optional[ExperimentScale] = None,
-                io_sizes: Sequence[int] = DEFAULT_IO_SIZES,
-                queue_depths: Sequence[int] = DEFAULT_QUEUE_DEPTHS,
-                ios_per_cell: int = 800,
-                devices: Sequence[DeviceKind] = (DeviceKind.SSD, DeviceKind.ESSD1,
-                                                 DeviceKind.ESSD2)) -> Figure4Result:
-    """Measure the Figure 4 grid (bounded I/O count per cell)."""
+def figure4_cells(scale: Optional[ExperimentScale] = None,
+                  io_sizes: Sequence[int] = DEFAULT_IO_SIZES,
+                  queue_depths: Sequence[int] = DEFAULT_QUEUE_DEPTHS,
+                  ios_per_cell: int = 800,
+                  devices: Sequence[DeviceKind] = (DeviceKind.SSD, DeviceKind.ESSD1,
+                                                   DeviceKind.ESSD2)) -> list[CellSpec]:
+    """The Figure 4 grid: one cell per (device, size, depth, pattern)."""
     scale = scale or ExperimentScale.default()
-    result = Figure4Result()
+    cells = []
     for device in devices:
         for io_size in io_sizes:
             for queue_depth in queue_depths:
-                throughputs = {}
                 for pattern in ("randwrite", "write"):
-                    job = FioJob(
-                        name=f"fig4-{device.value}-{pattern}-{io_size}-{queue_depth}",
+                    cells.append(CellSpec(
+                        device=device.value,
                         pattern=pattern,
                         io_size=io_size,
                         queue_depth=queue_depth,
                         io_count=max(ios_per_cell, queue_depth * 30),
                         ramp_ios=queue_depth,
                         seed=43,
-                    )
-                    throughputs[pattern] = measure_cell(device, job, scale,
-                                                        preload=False).throughput_gbps
-                result.cells.append(ThroughputCell(
-                    device=device,
-                    io_size=io_size,
-                    queue_depth=queue_depth,
-                    random_gbps=throughputs["randwrite"],
-                    sequential_gbps=throughputs["write"],
-                ))
+                        preload=False,
+                        ssd_capacity_bytes=scale.ssd_capacity_bytes,
+                        essd_capacity_bytes=scale.essd_capacity_bytes,
+                        labels=(("device", device.value), ("io_size", io_size),
+                                ("pattern", pattern), ("queue_depth", queue_depth)),
+                    ))
+    return cells
+
+
+def run_figure4(scale: Optional[ExperimentScale] = None,
+                io_sizes: Sequence[int] = DEFAULT_IO_SIZES,
+                queue_depths: Sequence[int] = DEFAULT_QUEUE_DEPTHS,
+                ios_per_cell: int = 800,
+                devices: Sequence[DeviceKind] = (DeviceKind.SSD, DeviceKind.ESSD1,
+                                                 DeviceKind.ESSD2),
+                runner: Optional[SweepRunner] = None) -> Figure4Result:
+    """Measure the Figure 4 grid through the sweep runner."""
+    cells = figure4_cells(scale, io_sizes, queue_depths, ios_per_cell, devices)
+    sweep = (runner or SweepRunner()).run_cells("figure4", cells)
+    result = Figure4Result()
+    throughputs: dict[tuple, dict[str, float]] = {}
+    for outcome in sweep.outcomes:
+        labels = outcome.params
+        key = (labels["device"], labels["io_size"], labels["queue_depth"])
+        throughputs.setdefault(key, {})[labels["pattern"]] = \
+            outcome.metrics["throughput_gbps"]
+    for (device, io_size, queue_depth), pair in throughputs.items():
+        result.cells.append(ThroughputCell(
+            device=DeviceKind(device),
+            io_size=io_size,
+            queue_depth=queue_depth,
+            random_gbps=pair["randwrite"],
+            sequential_gbps=pair["write"],
+        ))
     return result
+
+
+register(scenario(
+    "figure4",
+    "Paper Figure 4: random vs sequential write throughput and gain",
+    devices=("SSD", "ESSD-1", "ESSD-2"),
+    tags=("paper", "throughput"),
+    cell_builder=lambda: figure4_cells(
+        ExperimentScale.small(), io_sizes=(16 * KiB, 64 * KiB),
+        queue_depths=(8, 32), ios_per_cell=300),
+))

@@ -11,15 +11,11 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.ebs import alibaba_pl3_profile, aws_io2_profile
-from repro.experiments.common import (
-    DeviceKind,
-    ExperimentScale,
-    format_table,
-    measure_cell,
-)
+from repro.experiments.common import DeviceKind, ExperimentScale, format_table
+from repro.experiments.scenarios import register, scenario
+from repro.experiments.sweep import CellSpec, SweepRunner
 from repro.host.io import KiB
 from repro.metrics.stats import coefficient_of_variation
-from repro.workload.fio import FioJob
 
 DEFAULT_WRITE_RATIOS = (0, 25, 50, 75, 100)
 
@@ -77,20 +73,16 @@ class Figure5Result:
                 + format_table(headers, rows) + f"\nDeterminism: {note}")
 
 
-def run_figure5(scale: Optional[ExperimentScale] = None,
-                write_ratios: Sequence[int] = DEFAULT_WRITE_RATIOS,
-                io_size: int = 128 * KiB,
-                queue_depth: int = 32,
-                ios_per_point: int = 1200,
-                devices: Sequence[DeviceKind] = (DeviceKind.ESSD1, DeviceKind.ESSD2,
-                                                 DeviceKind.SSD)) -> Figure5Result:
-    """Measure throughput across write ratios for each device."""
+def figure5_cells(scale: Optional[ExperimentScale] = None,
+                  write_ratios: Sequence[int] = DEFAULT_WRITE_RATIOS,
+                  io_size: int = 128 * KiB,
+                  queue_depth: int = 32,
+                  ios_per_point: int = 1200,
+                  devices: Sequence[DeviceKind] = (DeviceKind.ESSD1, DeviceKind.ESSD2,
+                                                   DeviceKind.SSD)) -> list[CellSpec]:
+    """The Figure 5 ratio sweep: one cell per (device, write ratio)."""
     scale = scale or ExperimentScale.default()
-    result = Figure5Result()
-    result.budgets_gbps = {
-        DeviceKind.ESSD1: aws_io2_profile(scale.essd_capacity_bytes).max_throughput_gbps,
-        DeviceKind.ESSD2: alibaba_pl3_profile(scale.essd_capacity_bytes).max_throughput_gbps,
-    }
+    cells = []
     for device in devices:
         for ratio in write_ratios:
             if ratio == 0:
@@ -99,8 +91,8 @@ def run_figure5(scale: Optional[ExperimentScale] = None,
                 pattern, write_ratio = "randwrite", None
             else:
                 pattern, write_ratio = "randrw", ratio / 100.0
-            job = FioJob(
-                name=f"fig5-{device.value}-{ratio}",
+            cells.append(CellSpec(
+                device=device.value,
                 pattern=pattern,
                 io_size=io_size,
                 queue_depth=queue_depth,
@@ -108,13 +100,50 @@ def run_figure5(scale: Optional[ExperimentScale] = None,
                 io_count=max(ios_per_point, queue_depth * 30),
                 ramp_ios=queue_depth,
                 seed=57,
-            )
-            measured = measure_cell(device, job, scale, preload=True)
-            result.points.append(MixedRatioPoint(
-                device=device,
-                write_ratio_percent=ratio,
-                total_gbps=measured.throughput_gbps,
-                write_gbps=measured.write_throughput_gbps,
-                read_gbps=measured.read_throughput_gbps,
+                preload=True,
+                ssd_capacity_bytes=scale.ssd_capacity_bytes,
+                essd_capacity_bytes=scale.essd_capacity_bytes,
+                labels=(("device", device.value), ("write_ratio_percent", ratio)),
             ))
+    return cells
+
+
+def run_figure5(scale: Optional[ExperimentScale] = None,
+                write_ratios: Sequence[int] = DEFAULT_WRITE_RATIOS,
+                io_size: int = 128 * KiB,
+                queue_depth: int = 32,
+                ios_per_point: int = 1200,
+                devices: Sequence[DeviceKind] = (DeviceKind.ESSD1, DeviceKind.ESSD2,
+                                                 DeviceKind.SSD),
+                runner: Optional[SweepRunner] = None) -> Figure5Result:
+    """Measure throughput across write ratios through the sweep runner."""
+    scale = scale or ExperimentScale.default()
+    cells = figure5_cells(scale, write_ratios, io_size, queue_depth,
+                          ios_per_point, devices)
+    sweep = (runner or SweepRunner()).run_cells("figure5", cells)
+    result = Figure5Result()
+    result.budgets_gbps = {
+        DeviceKind.ESSD1: aws_io2_profile(scale.essd_capacity_bytes).max_throughput_gbps,
+        DeviceKind.ESSD2: alibaba_pl3_profile(scale.essd_capacity_bytes).max_throughput_gbps,
+    }
+    for outcome in sweep.outcomes:
+        labels = outcome.params
+        result.points.append(MixedRatioPoint(
+            device=DeviceKind(labels["device"]),
+            write_ratio_percent=labels["write_ratio_percent"],
+            total_gbps=outcome.metrics["throughput_gbps"],
+            write_gbps=outcome.metrics["write_throughput_gbps"],
+            read_gbps=outcome.metrics["read_throughput_gbps"],
+        ))
     return result
+
+
+register(scenario(
+    "figure5",
+    "Paper Figure 5: total throughput across read/write ratios",
+    devices=("ESSD-1", "ESSD-2", "SSD"),
+    tags=("paper", "throughput"),
+    cell_builder=lambda: figure5_cells(
+        ExperimentScale.small(), write_ratios=(0, 25, 50, 75, 100),
+        queue_depth=16, ios_per_point=250),
+))

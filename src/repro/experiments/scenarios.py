@@ -1,0 +1,249 @@
+"""Declarative scenario registry for the sweep subsystem.
+
+A *scenario* is a named, reproducible description of a characterization
+experiment: which devices to simulate, which workload pattern to run, and a
+parameter grid (I/O size x queue depth x pattern knobs x ...) to sweep.
+Scenarios expand to independent :class:`~repro.experiments.sweep.CellSpec`
+cells and execute through :class:`~repro.experiments.sweep.SweepRunner`,
+which parallelises across worker processes and caches results as JSON.
+
+Adding a scenario
+-----------------
+Call :func:`register` (usually at import time) with a spec built by
+:func:`scenario`::
+
+    register(scenario(
+        "my-sweep", "what it characterises",
+        devices=("SSD", "ESSD-2"),
+        base={"pattern": "randwrite", "io_count": 400, "preload": False},
+        grid={"io_size": (4096, 65536), "queue_depth": (1, 16)},
+    ))
+
+Grid axes whose names match :class:`CellSpec` fields (``io_size``,
+``queue_depth``, ``write_ratio``, ...) set those fields; any other axis name
+(``theta``, ``duty_cycle``, ``hot_fraction``, ...) is forwarded to the
+pattern through ``pattern_params``.  Every expanded cell carries its grid
+point in ``labels`` so results can be looked up by parameters.
+
+The paper's figures are registered too (``figure2`` ... ``figure5``,
+``table1``): their modules define the cells, this registry makes them
+runnable from the CLI (``python -m repro.experiments run figure4``).
+
+Cache layout: see :mod:`repro.experiments.sweep` -- one JSON file per cell
+under ``<cache-dir>/<scenario>/<sha256(cell)>.json``, keyed by the canonical
+JSON of the cell spec and the cache version.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.experiments.sweep import CellSpec, derive_seed, expand_grid
+from repro.host.io import KiB, MiB
+
+#: CellSpec field names a grid axis may target directly.
+_CELL_FIELDS = {f.name for f in dataclasses.fields(CellSpec)}
+
+#: Default scaled capacities for registry scenarios (kept small so a CLI
+#: sweep of dozens of cells finishes in seconds per worker).
+DEFAULT_SSD_CAPACITY = 96 * MiB
+DEFAULT_ESSD_CAPACITY = 192 * MiB
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named sweep: devices x parameter grid over one workload family."""
+
+    name: str
+    description: str
+    devices: tuple[str, ...]
+    base: tuple[tuple[str, Any], ...] = ()
+    grid: tuple[tuple[str, tuple], ...] = ()
+    seed: int = 17
+    #: "fixed" uses ``seed`` for every cell (paper-figure behaviour);
+    #: "derived" derives a per-cell seed from the grid point, so no two cells
+    #: share an RNG stream.
+    seed_mode: str = "fixed"
+    tags: tuple[str, ...] = ()
+    #: Escape hatch for scenarios whose cells need per-cell logic (the paper
+    #: figures).  Not part of the declarative payload.
+    cell_builder: Optional[Callable[[], list[CellSpec]]] = field(
+        default=None, compare=False)
+
+    def grid_points(self) -> list[dict[str, Any]]:
+        return expand_grid({axis: values for axis, values in self.grid})
+
+    def cells(self) -> list[CellSpec]:
+        """Expand the scenario into independent cell specs."""
+        if self.cell_builder is not None:
+            return self.cell_builder()
+        cells = []
+        base = dict(self.base)
+        for device in self.devices:
+            for point in self.grid_points():
+                fields = dict(base)
+                pattern_params = dict(fields.pop("pattern_params", ()))
+                for axis, value in point.items():
+                    if axis in _CELL_FIELDS:
+                        fields[axis] = value
+                    else:
+                        pattern_params[axis] = value
+                labels = {"device": device, **point}
+                seed = self.seed if self.seed_mode == "fixed" \
+                    else derive_seed(self.seed, labels)
+                # setdefault keeps a base/grid entry named "device" or "seed"
+                # authoritative (a grid axis may sweep seeds, for example).
+                fields.setdefault("device", device)
+                fields.setdefault("seed", seed)
+                fields.setdefault("ssd_capacity_bytes", DEFAULT_SSD_CAPACITY)
+                fields.setdefault("essd_capacity_bytes", DEFAULT_ESSD_CAPACITY)
+                cells.append(CellSpec(
+                    pattern_params=tuple(sorted(pattern_params.items())),
+                    labels=tuple(sorted(labels.items())),
+                    **fields,
+                ))
+        return cells
+
+
+def scenario(name: str, description: str, devices: Sequence[str],
+             base: Optional[Mapping[str, Any]] = None,
+             grid: Optional[Mapping[str, Sequence[Any]]] = None,
+             seed: int = 17, seed_mode: str = "fixed",
+             tags: Sequence[str] = (),
+             cell_builder: Optional[Callable[[], list[CellSpec]]] = None,
+             ) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from plain dicts (normalised to tuples)."""
+    if seed_mode not in ("fixed", "derived"):
+        raise ValueError(f"unknown seed_mode {seed_mode!r}")
+    return ScenarioSpec(
+        name=name,
+        description=description,
+        devices=tuple(devices),
+        base=tuple(sorted((base or {}).items())),
+        grid=tuple((axis, tuple(values)) for axis, values in (grid or {}).items()),
+        seed=seed,
+        seed_mode=seed_mode,
+        tags=tuple(tags),
+        cell_builder=cell_builder,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry (error on duplicate unless ``replace``)."""
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def all_scenarios() -> list[ScenarioSpec]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# ---------------------------------------------------------------------------
+# Built-in characterization scenarios
+# ---------------------------------------------------------------------------
+
+_ALL_DEVICES = ("SSD", "ESSD-1", "ESSD-2")
+_ESSDS = ("ESSD-1", "ESSD-2")
+
+register(scenario(
+    "latency-grid",
+    "Latency vs I/O size and queue depth for all devices (Figure 2 family)",
+    devices=_ALL_DEVICES,
+    base={"pattern": "randwrite", "io_count": 120, "preload": False},
+    grid={"io_size": (4 * KiB, 64 * KiB, 256 * KiB), "queue_depth": (1, 4, 16)},
+    tags=("latency", "paper-adjacent"),
+))
+
+register(scenario(
+    "rand-vs-seq-write",
+    "Random vs sequential write throughput grid (Figure 4 family)",
+    devices=_ALL_DEVICES,
+    base={"io_count": 300, "ramp_ios": 16, "preload": False},
+    grid={"pattern": ("randwrite", "write"),
+          "io_size": (16 * KiB, 64 * KiB), "queue_depth": (8, 32)},
+    seed=43,
+    tags=("throughput", "paper-adjacent"),
+))
+
+register(scenario(
+    "rw-ratio-sweep",
+    "Mixed read/write ratio sweep at fixed I/O size (Figure 5 family)",
+    devices=_ALL_DEVICES,
+    base={"pattern": "randrw", "io_size": 128 * KiB, "queue_depth": 16,
+          "io_count": 250, "ramp_ios": 16, "preload": True},
+    grid={"write_ratio": (0.0, 0.25, 0.5, 0.75, 1.0)},
+    seed=57,
+    tags=("throughput", "mixed"),
+))
+
+register(scenario(
+    "zipf-hotspot",
+    "Zipf-skewed random access: how hot-spot skew shapes latency and IOPS",
+    devices=_ESSDS,
+    base={"pattern": "zipfrw", "io_size": 4 * KiB, "queue_depth": 8,
+          "io_count": 300, "preload": True},
+    grid={"theta": (1.05, 1.2, 1.5), "write_ratio": (0.0, 0.5)},
+    seed=11,
+    seed_mode="derived",
+    tags=("skew",),
+))
+
+register(scenario(
+    "hot-cold",
+    "Hot/cold locality sweep: a small hot set absorbs most of the traffic",
+    devices=_ALL_DEVICES,
+    base={"pattern": "hotcoldwrite", "io_size": 16 * KiB, "queue_depth": 8,
+          "io_count": 300, "preload": False},
+    grid={"hot_fraction": (0.05, 0.2), "hot_access_fraction": (0.7, 0.95)},
+    seed=23,
+    seed_mode="derived",
+    tags=("skew",),
+))
+
+register(scenario(
+    "bursty-duty-cycle",
+    "On/off bursty writes: duty cycle vs sustained throughput and tail",
+    devices=_ESSDS,
+    # queue_depth stays 1: the on/off phases are per worker stream (see
+    # BurstyPattern), so a single closed-loop worker is what actually makes
+    # the device-level arrival process bursty.
+    base={"pattern": "bursty-randwrite", "io_size": 64 * KiB, "queue_depth": 1,
+          "io_count": 300, "preload": False,
+          "pattern_params": (("burst_ios", 32), ("service_estimate_us", 150.0))},
+    grid={"duty_cycle": (0.25, 0.5, 0.9)},
+    seed=31,
+    seed_mode="derived",
+    tags=("bursty",),
+))
+
+register(scenario(
+    "sustained-write-flood",
+    "Sustained random-write flood: GC cliff vs provider flow limit "
+    "(Figure 3 family)",
+    devices=_ALL_DEVICES,
+    base={"pattern": "randwrite", "io_size": 128 * KiB, "queue_depth": 32,
+          "total_bytes": int(1.6 * DEFAULT_SSD_CAPACITY), "preload": False,
+          "series_bin_us": "auto"},
+    grid={},
+    seed=29,
+    tags=("gc", "paper-adjacent"),
+))

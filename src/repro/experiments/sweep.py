@@ -1,0 +1,441 @@
+"""Parallel scenario-sweep runner with deterministic JSON result caching.
+
+This module turns a declarative :class:`~repro.experiments.scenarios.ScenarioSpec`
+into measurements:
+
+1. **Grid expansion** -- :func:`expand_grid` takes ``{axis: [values...]}``
+   and yields the cartesian product as a deterministic list of dicts (axes
+   sorted by name, values in the given order).
+2. **Cell execution** -- every grid point becomes one :class:`CellSpec`
+   (device x job parameters).  :func:`run_cell` builds a fresh simulator and
+   device, runs the FIO-style job, and returns a plain-``dict`` metrics
+   payload (latency summary, throughput, optional throughput-over-time
+   series).  Cells are fully independent, so they can run in worker
+   processes.
+3. **Caching** -- results are cached as one JSON file per cell under
+   ``<cache_dir>/<scenario>/<hash>.json``.  The hash is a SHA-256 over the
+   canonical JSON of the cell spec plus :data:`CACHE_VERSION`; bump the
+   version when the device models change materially so stale caches
+   invalidate themselves.
+4. **Execution** -- :class:`SweepRunner` runs the missing cells serially or
+   across worker processes (``concurrent.futures.ProcessPoolExecutor``).
+   Because each cell seeds its own simulator from the spec, serial and
+   parallel execution produce bit-identical metrics.
+
+The paper figures (:mod:`repro.experiments.figure2` ...) are thin scenario
+definitions executed through this runner; new characterization scenarios are
+registered in :mod:`repro.experiments.scenarios`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence
+
+#: Bump when device-model changes invalidate previously cached sweep results.
+CACHE_VERSION = 1
+
+#: Default cache directory (overridable per-runner or via the environment).
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_SWEEP_CACHE", ".sweep-cache")
+
+
+# ---------------------------------------------------------------------------
+# Grid expansion and hashing
+# ---------------------------------------------------------------------------
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
+    """Cartesian product of ``{axis: values}`` as a deterministic list.
+
+    Axes iterate in sorted-name order; values keep their given order.  An
+    empty grid yields one empty point (a sweep of a single fixed cell).
+    """
+    if not grid:
+        return [{}]
+    axes = sorted(grid)
+    for axis in axes:
+        if not isinstance(grid[axis], (list, tuple)):
+            raise TypeError(f"grid axis {axis!r} must be a list/tuple of values")
+        if len(grid[axis]) == 0:
+            raise ValueError(f"grid axis {axis!r} has no values")
+    return [dict(zip(axes, combo))
+            for combo in itertools.product(*(grid[axis] for axis in axes))]
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical (sorted-keys, compact) JSON used for hashing and caching."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(payload: Any) -> str:
+    """Stable SHA-256 hex digest of any JSON-serialisable payload."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def derive_seed(base_seed: int, params: Mapping[str, Any]) -> int:
+    """Deterministic per-cell seed from the scenario seed and cell params."""
+    digest = spec_hash({"seed": base_seed, "params": dict(params)})
+    return int(digest[:12], 16)
+
+
+# ---------------------------------------------------------------------------
+# Cell specification and execution
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent simulation: a device plus a complete job description.
+
+    All fields are JSON-serialisable so the spec itself is the cache key.
+    """
+
+    device: str                      # DeviceKind value ("SSD", "ESSD-1", ...)
+    pattern: str = "randread"
+    io_size: int = 4096
+    queue_depth: int = 1
+    write_ratio: Optional[float] = None
+    io_count: Optional[int] = None
+    total_bytes: Optional[int] = None
+    runtime_us: Optional[float] = None
+    ramp_ios: int = 0
+    think_time_us: float = 0.0
+    pattern_params: tuple = ()
+    seed: int = 17
+    preload: bool = True
+    ssd_capacity_bytes: int = 256 * 1024 * 1024
+    essd_capacity_bytes: int = 512 * 1024 * 1024
+    #: Bin width for the throughput-over-time series ("auto" adapts to the
+    #: run duration; None skips the series entirely).
+    series_bin_us: Optional[float | str] = None
+    #: Free-form labels carried through to the result (not part of the job).
+    labels: tuple = ()
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["pattern_params"] = list(list(pair) for pair in self.pattern_params)
+        payload["labels"] = list(list(pair) for pair in self.labels)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "CellSpec":
+        data = dict(payload)
+        data["pattern_params"] = tuple(tuple(pair) for pair in data.get("pattern_params", ()))
+        data["labels"] = tuple(tuple(pair) for pair in data.get("labels", ()))
+        return cls(**data)
+
+    def cache_key(self) -> str:
+        # Labels are cosmetic (display/lookup only); excluding them keeps the
+        # cache warm across label renames and lets diff_results align cells
+        # with identical physics.
+        payload = self.to_payload()
+        payload.pop("labels")
+        return spec_hash({"version": CACHE_VERSION, "cell": payload})
+
+
+def run_cell(cell: CellSpec) -> dict[str, Any]:
+    """Execute one cell on a fresh simulator and return its metrics dict.
+
+    Top-level (picklable) so it can run inside a worker process.  The imports
+    are local so that importing :mod:`repro.experiments.sweep` does not pull
+    the whole device stack into processes that only expand grids.
+    """
+    from repro.experiments.common import DeviceKind, ExperimentScale, measure_cell
+    from repro.workload.fio import FioJob
+
+    kind = DeviceKind(cell.device)
+    scale = ExperimentScale(ssd_capacity_bytes=cell.ssd_capacity_bytes,
+                            essd_capacity_bytes=cell.essd_capacity_bytes)
+    job = FioJob(
+        name=f"sweep-{cell.device}-{cell.pattern}",
+        pattern=cell.pattern,
+        io_size=cell.io_size,
+        queue_depth=cell.queue_depth,
+        write_ratio=cell.write_ratio,
+        io_count=cell.io_count,
+        total_bytes=cell.total_bytes,
+        runtime_us=cell.runtime_us,
+        ramp_ios=cell.ramp_ios,
+        think_time_us=cell.think_time_us,
+        pattern_params=cell.pattern_params,
+        seed=cell.seed,
+    )
+    result, device = measure_cell(kind, job, scale, preload=cell.preload,
+                                  return_device=True)
+    summary = result.latency.summary()
+    metrics: dict[str, Any] = {
+        "ios_completed": result.ios_completed,
+        "bytes_read": result.bytes_read,
+        "bytes_written": result.bytes_written,
+        "duration_us": result.duration_us,
+        "throughput_gbps": result.throughput_gbps,
+        "read_throughput_gbps": result.read_throughput_gbps,
+        "write_throughput_gbps": result.write_throughput_gbps,
+        "iops": result.iops,
+        "mean_us": summary.mean_us,
+        "p50_us": summary.p50_us,
+        "p99_us": summary.p99_us,
+        "p999_us": summary.p999_us,
+        "max_us": summary.max_us,
+    }
+    if cell.series_bin_us is not None:
+        # The requested width is an upper bound: the bin also shrinks so the
+        # run spans >= 24 bins, otherwise short (test-scale) runs could not
+        # locate throughput transitions like the GC cliff.
+        bin_us = cell.series_bin_us
+        if bin_us == "auto":
+            bin_us = max(1000.0, result.duration_us / 24)
+        else:
+            bin_us = max(1000.0, min(float(bin_us), result.duration_us / 24))
+        samples = result.timeline.binned(float(bin_us))
+        metrics["series"] = [
+            [sample.bytes_completed, sample.gigabytes_per_second]
+            for sample in samples
+        ]
+        metrics["series_bin_us"] = float(bin_us)
+    for attr in ("write_amplification", "flow_limited"):
+        if hasattr(device, attr):
+            metrics[attr] = getattr(device, attr)
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+class SweepCache:
+    """One JSON file per cell under ``<root>/<scenario>/<cell-hash>.json``."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def path_for(self, scenario: str, cell: CellSpec) -> Path:
+        return self.root / scenario / f"{cell.cache_key()}.json"
+
+    def load(self, scenario: str, cell: CellSpec) -> Optional[dict[str, Any]]:
+        path = self.path_for(scenario, cell)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        return payload.get("metrics")
+
+    def store(self, scenario: str, cell: CellSpec, metrics: Mapping[str, Any]) -> Path:
+        path = self.path_for(scenario, cell)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "scenario": scenario,
+            "cell": cell.to_payload(),
+            "metrics": dict(metrics),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(canonical_json(payload))
+        tmp.replace(path)
+        return path
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """A cell spec together with its measured (or cached) metrics."""
+
+    cell: CellSpec
+    metrics: dict[str, Any]
+    cached: bool = False
+
+    @property
+    def params(self) -> dict[str, Any]:
+        return dict(self.cell.labels)
+
+
+@dataclass
+class SweepResult:
+    """All cell outcomes of one scenario sweep."""
+
+    scenario: str
+    outcomes: list[CellOutcome] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    def metric(self, metric: str) -> list[float]:
+        return [outcome.metrics.get(metric) for outcome in self.outcomes]
+
+    def find(self, **labels) -> CellOutcome:
+        """The unique outcome whose cell labels/fields match ``labels``."""
+        matches = []
+        for outcome in self.outcomes:
+            cell_fields = outcome.cell.to_payload()
+            cell_fields.update(outcome.params)
+            if all(cell_fields.get(key) == value for key, value in labels.items()):
+                matches.append(outcome)
+        if not matches:
+            raise KeyError(labels)
+        if len(matches) > 1:
+            raise KeyError(f"labels {labels} match {len(matches)} cells")
+        return matches[0]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "version": CACHE_VERSION,
+            "scenario": self.scenario,
+            "cells": [
+                {"cell": outcome.cell.to_payload(), "metrics": outcome.metrics,
+                 "cached": outcome.cached}
+                for outcome in self.outcomes
+            ],
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_payload(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepResult":
+        payload = json.loads(Path(path).read_text())
+        result = cls(scenario=payload["scenario"])
+        for entry in payload["cells"]:
+            result.outcomes.append(CellOutcome(
+                cell=CellSpec.from_payload(entry["cell"]),
+                metrics=entry["metrics"],
+                cached=entry.get("cached", False),
+            ))
+        return result
+
+
+def diff_results(a: SweepResult, b: SweepResult,
+                 metric: str = "throughput_gbps") -> list[dict[str, Any]]:
+    """Per-cell metric comparison between two sweeps keyed by cell hash.
+
+    Returns one row per cell present in either sweep with the metric values
+    and the relative change (``None`` when a side is missing).
+    """
+    def index(result: SweepResult) -> dict[str, CellOutcome]:
+        return {outcome.cell.cache_key(): outcome for outcome in result.outcomes}
+
+    left, right = index(a), index(b)
+    rows = []
+    for key in sorted(set(left) | set(right)):
+        outcome = left.get(key) or right.get(key)
+        value_a = left[key].metrics.get(metric) if key in left else None
+        value_b = right[key].metrics.get(metric) if key in right else None
+        change = None
+        if value_a is not None and value_b is not None:
+            if value_a == 0:
+                # A zero baseline going nonzero is an infinite relative
+                # change -- it must still trip --fail-on-change.
+                change = 0.0 if value_b == 0 else math.inf
+            else:
+                change = (value_b - value_a) / abs(value_a)
+        rows.append({
+            "cell": outcome.cell.to_payload(),
+            "labels": dict(outcome.cell.labels),
+            f"{metric}_a": value_a,
+            f"{metric}_b": value_b,
+            "relative_change": change,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+class SweepRunner:
+    """Executes the cells of a scenario, optionally in parallel, with caching.
+
+    Parameters
+    ----------
+    parallel:
+        Run independent cells across worker processes.  Results are identical
+        to serial execution (each cell owns its simulator and seed).
+    max_workers:
+        Worker-process count (default: ``os.cpu_count()`` capped at the cell
+        count).
+    cache_dir:
+        Directory for the JSON result cache; ``None`` disables caching.
+    force:
+        Ignore cached results and re-run every cell.
+    """
+
+    def __init__(self, parallel: bool = False, max_workers: Optional[int] = None,
+                 cache_dir: Optional[str | Path] = None, force: bool = False):
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.cache = SweepCache(cache_dir) if cache_dir is not None else None
+        self.force = force
+
+    def run_cells(self, scenario: str, cells: Sequence[CellSpec]) -> SweepResult:
+        """Run (or load from cache) every cell and return the sweep result."""
+        result = SweepResult(scenario=scenario)
+        outcomes: list[Optional[CellOutcome]] = [None] * len(cells)
+        pending: list[tuple[int, CellSpec]] = []
+        for index, cell in enumerate(cells):
+            cached = None if (self.cache is None or self.force) \
+                else self.cache.load(scenario, cell)
+            if cached is not None:
+                outcomes[index] = CellOutcome(cell=cell, metrics=cached, cached=True)
+            else:
+                pending.append((index, cell))
+
+        if pending:
+            fresh = self._execute([cell for _, cell in pending])
+            for (index, cell), metrics in zip(pending, fresh):
+                if self.cache is not None:
+                    self.cache.store(scenario, cell, metrics)
+                outcomes[index] = CellOutcome(cell=cell, metrics=metrics, cached=False)
+
+        result.outcomes = [outcome for outcome in outcomes if outcome is not None]
+        return result
+
+    def run(self, spec) -> SweepResult:
+        """Expand a :class:`ScenarioSpec` and run its cells."""
+        return self.run_cells(spec.name, spec.cells())
+
+    # -- internals ---------------------------------------------------------
+    def _execute(self, cells: Sequence[CellSpec]) -> list[dict[str, Any]]:
+        if not self.parallel or len(cells) <= 1:
+            return [run_cell(cell) for cell in cells]
+        workers = self.max_workers or os.cpu_count() or 2
+        workers = max(1, min(workers, len(cells)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_cell, cells))
+
+
+def quick_cells(cells: Sequence[CellSpec], io_count: int = 60) -> list[CellSpec]:
+    """Shrink every cell's I/O budget (used by ``--quick`` CLI runs).
+
+    Count-bounded cells are capped at ``io_count`` I/Os; byte-bounded cells
+    (sustained floods) are cut to an eighth of their volume, floored so at
+    least ``io_count`` I/Os still run.
+    """
+    shrunk = []
+    for cell in cells:
+        if cell.io_count is not None:
+            shrunk.append(replace(cell, io_count=min(cell.io_count, io_count)))
+        elif cell.total_bytes is not None:
+            quick_bytes = max(cell.io_size * io_count, cell.total_bytes // 8)
+            shrunk.append(replace(cell, total_bytes=min(cell.total_bytes,
+                                                        quick_bytes)))
+        else:
+            shrunk.append(cell)
+    return shrunk

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.ebs import alibaba_pl3_profile, aws_io2_profile
 from repro.experiments.common import DeviceKind, ExperimentScale, format_table
+from repro.experiments.scenarios import register, scenario
 from repro.host.io import GiB
 from repro.ssd import samsung_970pro_profile
 
@@ -69,6 +70,16 @@ def render_table1(rows: list[DeviceConfigRow]) -> str:
              row.max_iops, _format_capacity(row.capacity_bytes), row.vm_type, row.region]
             for row in rows]
     return format_table(headers, body)
+
+
+register(scenario(
+    "table1",
+    "Paper Table I: device configurations (static -- rendered from profiles, "
+    "no simulation cells)",
+    devices=("SSD", "ESSD-1", "ESSD-2"),
+    tags=("paper", "static"),
+    cell_builder=lambda: [],
+))
 
 
 def _format_iops(iops: float) -> str:

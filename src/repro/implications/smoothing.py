@@ -90,7 +90,7 @@ class IoSmoother:
         if len(trace) == 0:
             return 0.0
         tolerance = self.delay_tolerance_us if tolerance_us is None else tolerance_us
-        low = max(trace.mean_load_gbps, 1e-6)
+        low = max(trace.mean_load_gbps(), 1e-6)
         high = max(trace.peak_load_gbps(self.peak_bin_us), low) * 1.05 + 1e-6
         if self.max_delay_at_rate(trace, low) <= tolerance:
             return low

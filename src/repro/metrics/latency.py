@@ -89,15 +89,21 @@ class LatencyRecorder:
         if not self._samples:
             return LatencySummary.empty()
         arr = np.asarray(self._samples, dtype=np.float64)
+        minimum = float(arr.min())
+        maximum = float(arr.max())
+        # Pairwise summation can leave the mean a few ULPs outside the sample
+        # range for near-constant populations; clamp to keep the invariant
+        # min <= mean <= max exact.
+        mean = min(max(float(arr.mean()), minimum), maximum)
         return LatencySummary(
             count=len(arr),
-            mean_us=float(arr.mean()),
+            mean_us=mean,
             p50_us=float(np.percentile(arr, 50)),
             p90_us=float(np.percentile(arr, 90)),
             p99_us=float(np.percentile(arr, 99)),
             p999_us=float(np.percentile(arr, 99.9)),
-            min_us=float(arr.min()),
-            max_us=float(arr.max()),
+            min_us=minimum,
+            max_us=maximum,
             stddev_us=float(arr.std()),
         )
 

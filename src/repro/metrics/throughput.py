@@ -91,11 +91,41 @@ class ThroughputTimeline:
         samples = []
         for index in range(num_bins):
             bin_start = start + index * bin_us
+            bin_end = bin_start + bin_us
+            if index == num_bins - 1:
+                # The recording span rarely ends exactly on a bin boundary;
+                # normalising the trailing bin by the full width would
+                # under-report its throughput (a partial bin holds
+                # proportionally fewer completions).
+                bin_end = max(min(bin_end, end), bin_start + 1e-9)
             samples.append(ThroughputSample(
                 start_us=bin_start,
-                end_us=bin_start + bin_us,
+                end_us=bin_end,
                 bytes_completed=int(sums[index]),
             ))
+        # A sliver of a trailing bin (completions landing just past the last
+        # boundary) would be normalised by a near-zero span and report an
+        # absurd rate; fold it into the previous bin instead.  The threshold
+        # stays low (5%) because a shorter-but-substantial trailing bin is
+        # real signal (e.g. a throttled tail) that merging would erase.
+        if len(samples) >= 2 and samples[-1].duration_us < 0.05 * bin_us:
+            tail = samples.pop()
+            prev = samples[-1]
+            samples[-1] = ThroughputSample(
+                start_us=prev.start_us,
+                end_us=tail.end_us,
+                bytes_completed=prev.bytes_completed + tail.bytes_completed,
+            )
+        elif len(samples) == 1 and samples[0].duration_us < 0.05 * bin_us:
+            # Degenerate single-bin timeline (all completions at ~one
+            # timestamp): there is no span to derive a rate from, so assume
+            # the requested bin width rather than dividing by ~zero.
+            only = samples[0]
+            samples[0] = ThroughputSample(
+                start_us=only.start_us,
+                end_us=only.start_us + bin_us,
+                bytes_completed=only.bytes_completed,
+            )
         return samples
 
     def gbps_series(self, bin_us: float) -> tuple[np.ndarray, np.ndarray]:

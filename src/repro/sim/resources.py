@@ -174,6 +174,20 @@ class TokenBucket:
         self._schedule_wakeup()
 
     # -- consumption ------------------------------------------------------
+    def consume_sliced(self, amount: float):
+        """Generator: consume ``amount`` tokens in capacity-sized slices.
+
+        ``consume`` rejects requests above the bucket capacity; this helper
+        paces an arbitrarily large transfer at the sustained rate instead.
+        ``yield from bucket.consume_sliced(n)`` from a simulation process.
+        """
+        remaining = amount
+        burst = self.capacity
+        while remaining > 0:
+            take = min(remaining, burst)
+            yield self.consume(take)
+            remaining -= take
+
     def consume(self, amount: float) -> Event:
         """Return an event that succeeds once ``amount`` tokens are granted."""
         if amount < 0:
@@ -207,7 +221,12 @@ class TokenBucket:
         self._refill()
         while self._waiters:
             amount, event = self._waiters[0]
-            if self._tokens + 1e-12 >= amount:
+            # The grant tolerance must scale with ``amount``: refills accumulate
+            # relative floating-point error, and an absolute epsilon can leave a
+            # residual deficit whose wakeup delay is below the resolution of
+            # ``sim.now`` -- the clock then never advances and the wakeup loop
+            # spins forever.
+            if self._tokens + 1e-9 * amount + 1e-12 >= amount:
                 self._tokens -= amount
                 self._waiters.popleft()
                 event.succeed(None)

@@ -43,6 +43,10 @@ class SsdConfig:
     host_transfer_bytes_per_us: float = 2700.0
     #: Additional fixed cost per logical block touched by a request (us).
     per_block_overhead_us: float = 0.3
+    #: Parallel host-interface contexts in the controller (command decode +
+    #: DMA pipelines).  Requests beyond this queue for the interface, so deep
+    #: queues raise per-request latency on the local SSD.
+    controller_contexts: int = 2
 
     # -- DRAM write buffer ----------------------------------------------------
     #: Write buffer capacity in bytes (0 disables the buffer).
@@ -158,12 +162,25 @@ def samsung_970pro_profile(capacity_bytes: int = 2 * GiB) -> SsdConfig:
     # Re-derive blocks_per_plane: enough superblocks to hold the logical
     # capacity plus a fixed number of spare superblocks per die, giving
     # roughly the real part's ~9-11% over-provisioning at the default scale.
-    superblock_bytes = (geometry.planes_per_die * geometry.pages_per_block
-                        * geometry.page_size)
-    data_blocks_per_die = math.ceil(
-        capacity_bytes / (superblock_bytes * geometry.total_dies))
-    # ~11% over-provisioning like the real part, with a floor so tiny test
-    # configurations still have room for the GC reserve and open frontiers.
+    # GC needs at least 4 spare superblocks per die (watermarks + open
+    # frontiers), and the over-provisioning ratio must stay near the real
+    # part's ~10-20% even at tiny test capacities -- the GC cliff appears
+    # once ~(1 + OP)x the capacity has been written, so inflated spare space
+    # would shift the cliff far beyond where the paper observes it.  Both
+    # hold only if a die spans enough data superblocks for the 4-superblock
+    # floor to stay a small fraction, so for very small capacities the flash
+    # block is shrunk (fewer pages per block) until it does -- scaling block
+    # count rather than inflating spare space keeps GC behaviour comparable
+    # across scales.
+    pages_per_block = geometry.pages_per_block
+    while True:
+        superblock_bytes = (geometry.planes_per_die * pages_per_block
+                            * geometry.page_size)
+        data_blocks_per_die = math.ceil(
+            capacity_bytes / (superblock_bytes * geometry.total_dies))
+        if data_blocks_per_die >= 16 or pages_per_block <= 4:
+            break
+        pages_per_block //= 2
     spare_blocks_per_die = max(4, round(0.11 * data_blocks_per_die))
     blocks_per_plane = data_blocks_per_die + spare_blocks_per_die
     geometry = FlashGeometry(
@@ -171,7 +188,7 @@ def samsung_970pro_profile(capacity_bytes: int = 2 * GiB) -> SsdConfig:
         dies_per_channel=geometry.dies_per_channel,
         planes_per_die=geometry.planes_per_die,
         blocks_per_plane=blocks_per_plane,
-        pages_per_block=geometry.pages_per_block,
+        pages_per_block=pages_per_block,
         page_size=geometry.page_size,
     )
     # Scale DRAM buffer/cache with capacity but keep sensible floors.

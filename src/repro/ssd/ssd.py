@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.flash.chip import FlashArray
 from repro.host.device import BlockDevice
 from repro.host.io import IOKind, IORequest
+from repro.sim.resources import Resource
 from repro.ssd.allocator import WriteStream
 from repro.ssd.config import SsdConfig, samsung_970pro_profile
 from repro.ssd.ftl import Ftl
@@ -34,6 +35,12 @@ class SsdDevice(BlockDevice):
         self.flash = FlashArray(sim, config.geometry, config.timing)
         self.ftl = Ftl(sim, config, self.flash)
         self._rng = random.Random(config.seed)
+        # The controller's host-interface pipeline (command decode + DMA) has
+        # a small number of parallel contexts.  Deep queues therefore *raise*
+        # per-request latency on the local SSD -- which is exactly why the
+        # ESSD/SSD latency gap shrinks at high queue depth (Observation 1):
+        # the backend-parallel ESSD does not pay this serialization.
+        self._controller = Resource(sim, capacity=config.controller_contexts)
 
         block = config.logical_block_size
         if config.write_buffer_bytes > 0:
@@ -75,7 +82,11 @@ class SsdDevice(BlockDevice):
 
     # -- request service ------------------------------------------------------------
     def _serve(self, request: IORequest):
-        yield self.sim.timeout(self._host_overhead(request))
+        yield self._controller.request()
+        try:
+            yield self.sim.timeout(self._host_overhead(request))
+        finally:
+            self._controller.release()
         if request.kind is IOKind.READ:
             yield from self._serve_read(request)
         elif request.kind is IOKind.WRITE:

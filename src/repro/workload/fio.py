@@ -52,6 +52,11 @@ class FioJob:
     ramp_ios: int = 0
     #: Think time inserted between consecutive I/Os of one worker (us).
     think_time_us: float = 0.0
+    #: Pattern-specific knobs forwarded to :func:`make_pattern` (e.g.
+    #: ``(("theta", 1.2),)`` for Zipfian or ``(("duty_cycle", 0.5),)`` for
+    #: bursty patterns).  Stored as a sorted tuple of pairs so the job stays
+    #: hashable and its JSON form is canonical.
+    pattern_params: tuple = ()
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -69,6 +74,10 @@ class FioJob:
                 raise ValueError(f"{name} must be positive when given")
         if self.ramp_ios < 0 or self.think_time_us < 0:
             raise ValueError("ramp_ios and think_time_us must be non-negative")
+        if isinstance(self.pattern_params, dict):
+            # Accept a plain dict for convenience; normalise to sorted pairs.
+            object.__setattr__(self, "pattern_params",
+                               tuple(sorted(self.pattern_params.items())))
 
     def scaled(self, **changes) -> "FioJob":
         """Copy of the job with some fields changed."""
@@ -134,7 +143,8 @@ def _build_pattern(job: FioJob, device: BlockDevice) -> AccessPattern:
         else device.capacity_bytes - job.region_offset
     return make_pattern(job.pattern, region, job.io_size,
                         write_ratio=job.write_ratio, seed=job.seed,
-                        region_offset=job.region_offset)
+                        region_offset=job.region_offset,
+                        **dict(job.pattern_params))
 
 
 def run_job(sim: "Simulator", device: BlockDevice, job: FioJob,
@@ -160,7 +170,11 @@ def run_job(sim: "Simulator", device: BlockDevice, job: FioJob,
             return True
         if job.io_count is not None and state["issued"] >= job.io_count:
             return True
-        if job.total_bytes is not None and state["issued"] * job.io_size >= job.total_bytes:
+        if job.total_bytes is not None and \
+                (state["issued"] + 1) * job.io_size > job.total_bytes:
+            # FIO semantics: an I/O is only issued if it fits entirely within
+            # the remaining byte budget, so a limit that is not a multiple of
+            # the block size transfers floor(total_bytes / io_size) I/Os.
             return True
         if deadline is not None and sim.now >= deadline:
             return True
@@ -168,6 +182,11 @@ def run_job(sim: "Simulator", device: BlockDevice, job: FioJob,
 
     def worker():
         while not should_stop():
+            pause = pattern.next_think_time_us()
+            if pause > 0:
+                yield sim.timeout(pause)
+                if should_stop():
+                    break
             state["issued"] += 1
             kind, offset = pattern.next()
             event = device.read(offset, job.io_size) if kind is IOKind.READ \

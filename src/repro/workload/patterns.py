@@ -8,8 +8,19 @@ address range.  The four FIO patterns the paper uses map to:
 * ``randrw`` with a write percentage -- :class:`MixedPattern` wrapping a
   random pattern.
 
-A Zipfian pattern is included for skewed-workload experiments (it is not used
-by the paper's figures but is exercised by the examples and advisors).
+Beyond the paper's grid, the scenario-sweep subsystem
+(:mod:`repro.experiments.scenarios`) exercises skewed and bursty workloads:
+
+* :class:`ZipfianPattern` -- Zipf-skewed offsets (``zipfread`` /
+  ``zipfwrite`` / ``zipfrw``);
+* :class:`HotColdPattern` -- a hot set absorbing most accesses
+  (``hotcoldread`` / ``hotcoldwrite`` / ``hotcoldrw``);
+* :class:`BurstyPattern` -- on/off bursts with a configurable duty cycle
+  (``bursty-<base>`` wrapping any base pattern), driven through the
+  :meth:`AccessPattern.next_think_time_us` hook;
+* :class:`MixedPattern` -- generalised: any base pattern can carry a write
+  ratio (``randrw``, ``seqrw``, ``zipfrw``, ``hotcoldrw``), enabling
+  read/write-ratio sweeps over arbitrary address distributions.
 """
 
 from __future__ import annotations
@@ -43,6 +54,15 @@ class AccessPattern(abc.ABC):
     def next_kind(self) -> IOKind:
         """The kind of the next request (patterns are single-kind by default)."""
         return IOKind.READ
+
+    def next_think_time_us(self) -> float:
+        """Extra delay the workload inserts *before* the next request.
+
+        Most patterns issue back-to-back (0.0); bursty patterns use this hook
+        to model off-phases.  ``run_job`` adds the value on top of the job's
+        own ``think_time_us``.
+        """
+        return 0.0
 
     def next(self) -> tuple[IOKind, int]:
         """Convenience: (kind, offset) of the next request."""
@@ -106,6 +126,97 @@ class ZipfianPattern(AccessPattern):
         return self.kind
 
 
+class HotColdPattern(AccessPattern):
+    """Skewed random offsets: a small *hot set* absorbs most accesses.
+
+    ``hot_fraction`` of the region (a contiguous-slot set scattered by a
+    seeded permutation) receives ``hot_access_fraction`` of the requests; the
+    remainder go uniformly to the cold set.  The classic 90/10 locality rule
+    is the default.
+    """
+
+    def __init__(self, region_bytes: int, io_size: int, kind: IOKind = IOKind.READ,
+                 region_offset: int = 0, seed: int = 0,
+                 hot_fraction: float = 0.1, hot_access_fraction: float = 0.9):
+        super().__init__(region_bytes, io_size, region_offset)
+        if not 0.0 < hot_fraction < 1.0:
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if not 0.0 <= hot_access_fraction <= 1.0:
+            raise ValueError("hot_access_fraction must be in [0, 1]")
+        self.kind = kind
+        self.hot_fraction = hot_fraction
+        self.hot_access_fraction = hot_access_fraction
+        self._rng = random.Random(seed)
+        self._hot_slots = max(1, int(self.slots * hot_fraction))
+        # Scatter the hot set over the address space so it does not coincide
+        # with a physically contiguous range.
+        self._permutation = np.random.default_rng(seed + 13).permutation(self.slots)
+
+    def next_offset(self) -> int:
+        if self._rng.random() < self.hot_access_fraction:
+            slot_rank = self._rng.randrange(self._hot_slots)
+        else:
+            cold_slots = self.slots - self._hot_slots
+            if cold_slots <= 0:
+                slot_rank = self._rng.randrange(self._hot_slots)
+            else:
+                slot_rank = self._hot_slots + self._rng.randrange(cold_slots)
+        return self.region_offset + int(self._permutation[slot_rank]) * self.io_size
+
+    def next_kind(self) -> IOKind:
+        return self.kind
+
+
+class BurstyPattern(AccessPattern):
+    """On/off bursts: ``burst_ios`` back-to-back requests, then an idle gap.
+
+    The off-phase is injected through :meth:`next_think_time_us` before the
+    first request of each new burst.  ``duty_cycle`` (on-time fraction) can be
+    given instead of an explicit ``idle_us``: with an estimated per-I/O
+    service time the idle gap is ``burst_ios * service_estimate_us *
+    (1 - duty_cycle) / duty_cycle``.
+
+    Like FIO's ``thinktime``, the on/off phases are per worker *stream*: with
+    ``queue_depth > 1`` the workers share this pattern's burst counter, only
+    the worker that crosses the burst boundary pauses, and the device never
+    goes fully idle.  Use ``queue_depth=1`` when the workload should produce
+    true device-level on/off arrival bursts.
+    """
+
+    def __init__(self, base: AccessPattern, burst_ios: int = 64,
+                 idle_us: Optional[float] = None,
+                 duty_cycle: Optional[float] = None,
+                 service_estimate_us: float = 100.0):
+        super().__init__(base.region_bytes, base.io_size, base.region_offset)
+        if burst_ios < 1:
+            raise ValueError("burst_ios must be >= 1")
+        if idle_us is None:
+            if duty_cycle is None:
+                raise ValueError("give either idle_us or duty_cycle")
+            if not 0.0 < duty_cycle <= 1.0:
+                raise ValueError("duty_cycle must be in (0, 1]")
+            idle_us = burst_ios * service_estimate_us * (1.0 - duty_cycle) / duty_cycle
+        if idle_us < 0:
+            raise ValueError("idle_us must be non-negative")
+        self.base = base
+        self.burst_ios = burst_ios
+        self.idle_us = float(idle_us)
+        self._issued_in_burst = 0
+
+    def next_think_time_us(self) -> float:
+        if self._issued_in_burst >= self.burst_ios:
+            self._issued_in_burst = 0
+            return self.idle_us
+        return 0.0
+
+    def next_offset(self) -> int:
+        self._issued_in_burst += 1
+        return self.base.next_offset()
+
+    def next_kind(self) -> IOKind:
+        return self.base.next_kind()
+
+
 class MixedPattern(AccessPattern):
     """Wraps a base pattern and flips each request to WRITE with a probability."""
 
@@ -123,31 +234,60 @@ class MixedPattern(AccessPattern):
     def next_kind(self) -> IOKind:
         return IOKind.WRITE if self._rng.random() < self.write_ratio else IOKind.READ
 
+    def next_think_time_us(self) -> float:
+        return self.base.next_think_time_us()
+
+
+#: (read name, write name, mixed name) -> base pattern class, for make_pattern.
+_FAMILIES = {
+    "read": ("read", "write", "seqrw"),
+    "rand": ("randread", "randwrite", "randrw"),
+    "zipf": ("zipfread", "zipfwrite", "zipfrw"),
+    "hotcold": ("hotcoldread", "hotcoldwrite", "hotcoldrw"),
+}
+
 
 def make_pattern(name: str, region_bytes: int, io_size: int,
                  write_ratio: Optional[float] = None, seed: int = 0,
-                 region_offset: int = 0) -> AccessPattern:
+                 region_offset: int = 0, **params) -> AccessPattern:
     """Build a pattern from a FIO-style name.
 
     Supported names: ``read``, ``write``, ``randread``, ``randwrite``,
-    ``randrw`` (requires ``write_ratio``), ``zipfread``, ``zipfwrite``.
+    ``zipfread``, ``zipfwrite``, ``hotcoldread``, ``hotcoldwrite``, and the
+    mixed variants ``randrw``, ``seqrw``, ``zipfrw``, ``hotcoldrw`` (each
+    requires ``write_ratio``).  Any name may be prefixed with ``bursty-`` to
+    wrap the pattern in on/off bursts.  ``params`` forwards pattern-specific
+    knobs (``theta`` for Zipfian, ``hot_fraction`` / ``hot_access_fraction``
+    for hot/cold, ``burst_ios`` / ``idle_us`` / ``duty_cycle`` /
+    ``service_estimate_us`` for bursty).
     """
     name = name.lower()
-    if name == "read":
-        return SequentialPattern(region_bytes, io_size, IOKind.READ, region_offset)
-    if name == "write":
-        return SequentialPattern(region_bytes, io_size, IOKind.WRITE, region_offset)
-    if name == "randread":
-        return RandomPattern(region_bytes, io_size, IOKind.READ, region_offset, seed)
-    if name == "randwrite":
-        return RandomPattern(region_bytes, io_size, IOKind.WRITE, region_offset, seed)
-    if name == "zipfread":
-        return ZipfianPattern(region_bytes, io_size, IOKind.READ, region_offset, seed)
-    if name == "zipfwrite":
-        return ZipfianPattern(region_bytes, io_size, IOKind.WRITE, region_offset, seed)
-    if name == "randrw":
+    if name.startswith("bursty-"):
+        burst_keys = ("burst_ios", "idle_us", "duty_cycle", "service_estimate_us")
+        burst_params = {key: params.pop(key) for key in burst_keys if key in params}
+        base = make_pattern(name[len("bursty-"):], region_bytes, io_size,
+                            write_ratio=write_ratio, seed=seed,
+                            region_offset=region_offset, **params)
+        return BurstyPattern(base, **burst_params)
+
+    def build(kind: IOKind) -> AccessPattern:
+        if name in ("read", "write", "seqrw"):
+            return SequentialPattern(region_bytes, io_size, kind, region_offset,
+                                     **params)
+        if name in ("randread", "randwrite", "randrw"):
+            return RandomPattern(region_bytes, io_size, kind, region_offset, seed)
+        if name in ("zipfread", "zipfwrite", "zipfrw"):
+            return ZipfianPattern(region_bytes, io_size, kind, region_offset, seed,
+                                  **params)
+        if name in ("hotcoldread", "hotcoldwrite", "hotcoldrw"):
+            return HotColdPattern(region_bytes, io_size, kind, region_offset, seed,
+                                  **params)
+        raise ValueError(f"unknown pattern name: {name!r}")
+
+    mixed_names = {family[2] for family in _FAMILIES.values()}
+    if name in mixed_names:
         if write_ratio is None:
-            raise ValueError("randrw requires a write_ratio")
-        base = RandomPattern(region_bytes, io_size, IOKind.READ, region_offset, seed)
-        return MixedPattern(base, write_ratio, seed=seed + 1)
-    raise ValueError(f"unknown pattern name: {name!r}")
+            raise ValueError(f"{name} requires a write_ratio")
+        return MixedPattern(build(IOKind.READ), write_ratio, seed=seed + 1)
+    kind = IOKind.WRITE if name.endswith("write") else IOKind.READ
+    return build(kind)

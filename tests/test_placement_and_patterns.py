@@ -1,0 +1,207 @@
+"""Regression and property tests: chunk placement termination and the new
+workload generators (zipfian, hot/cold, bursty, generalised mixed)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebs.chunk_map import ChunkMap
+from repro.host.io import IOKind, KiB, MiB
+from repro.workload.patterns import (
+    BurstyPattern,
+    HotColdPattern,
+    MixedPattern,
+    RandomPattern,
+    make_pattern,
+)
+
+REGION = 8 * MiB
+IO = 4 * KiB
+
+
+# ---------------------------------------------------------------------------
+# ChunkMap placement: the seed bug was an infinite loop whenever the walk
+# stride shared a factor with num_nodes (e.g. stride 2, 4, or 6 on 8 nodes).
+# ---------------------------------------------------------------------------
+
+def make_map(num_nodes, replication_factor, seed=0, chunks=256):
+    return ChunkMap(capacity_bytes=chunks * 64 * KiB, chunk_size=64 * KiB,
+                    num_nodes=num_nodes, replication_factor=replication_factor,
+                    seed=seed)
+
+
+def test_placement_group_regression_every_residue_class_non_prime_nodes():
+    """8 nodes / rf=3: every (chunk_index, seed) residue class terminates.
+
+    Before the fix, any chunk whose derived stride was even looped forever
+    because the walk only visited half the ring.  Covering chunk indices and
+    seeds across every residue class modulo num_nodes (and modulo the stride
+    generator num_nodes - 1) exercises all stride values.
+    """
+    for num_nodes in (6, 8, 9, 12):
+        for seed in range(num_nodes):
+            chunk_map = make_map(num_nodes, replication_factor=3, seed=seed)
+            for chunk_index in range(num_nodes * (num_nodes - 1)):
+                group = chunk_map.placement_group(chunk_index)
+                assert len(group) == 3
+                assert len(set(group)) == 3
+                assert all(0 <= node < num_nodes for node in group)
+
+
+def test_placement_group_deterministic_and_spread():
+    chunk_map = make_map(8, 3, seed=5)
+    groups = [chunk_map.placement_group(index) for index in range(256)]
+    assert groups == [chunk_map.placement_group(index) for index in range(256)]
+    # Every node serves some chunk (placement is not degenerate).
+    used = {node for group in groups for node in group}
+    assert used == set(range(8))
+
+
+@settings(max_examples=120, deadline=None)
+@given(num_nodes=st.integers(min_value=1, max_value=40),
+       replication_factor=st.integers(min_value=1, max_value=40),
+       seed=st.integers(min_value=0, max_value=2**16),
+       chunk_index=st.integers(min_value=0, max_value=255))
+def test_placement_group_always_terminates_with_distinct_nodes(
+        num_nodes, replication_factor, seed, chunk_index):
+    """Property: any valid (nodes, rf, seed, chunk) yields rf distinct nodes."""
+    replication_factor = min(replication_factor, num_nodes)
+    chunk_map = make_map(num_nodes, replication_factor, seed=seed)
+    group = chunk_map.placement_group(chunk_index)
+    assert len(group) == replication_factor
+    assert len(set(group)) == replication_factor
+
+
+@settings(max_examples=100, deadline=None)
+@given(chunk_size_kib=st.integers(min_value=1, max_value=64),
+       offset=st.integers(min_value=0, max_value=2**20),
+       size=st.integers(min_value=1, max_value=2**18))
+def test_split_partitions_the_request_exactly(chunk_size_kib, offset, size):
+    """Property: split() covers [offset, offset+size) exactly, in order."""
+    chunk_map = ChunkMap(capacity_bytes=4 * MiB, chunk_size=chunk_size_kib * 1024,
+                         num_nodes=8, replication_factor=3)
+    size = min(size, chunk_map.capacity_bytes - offset)
+    if size <= 0:
+        return
+    subrequests = chunk_map.split(offset, size)
+    assert sum(sub.size for sub in subrequests) == size
+    position = offset
+    for sub in subrequests:
+        assert sub.offset_in_chunk < chunk_map.chunk_size
+        assert sub.chunk_index * chunk_map.chunk_size + sub.offset_in_chunk == position
+        assert sub.size <= chunk_map.chunk_size - sub.offset_in_chunk
+        position += sub.size
+    assert position == offset + size
+
+
+# ---------------------------------------------------------------------------
+# New workload generators
+# ---------------------------------------------------------------------------
+
+def _offsets_valid(pattern, region_bytes, io_size, count=200):
+    for _ in range(count):
+        offset = pattern.next_offset()
+        assert 0 <= offset <= region_bytes - io_size
+        assert offset % io_size == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       hot_fraction=st.floats(min_value=0.01, max_value=0.99),
+       hot_access_fraction=st.floats(min_value=0.0, max_value=1.0))
+def test_hot_cold_offsets_stay_aligned_and_in_region(seed, hot_fraction,
+                                                     hot_access_fraction):
+    pattern = HotColdPattern(REGION, IO, seed=seed, hot_fraction=hot_fraction,
+                             hot_access_fraction=hot_access_fraction)
+    _offsets_valid(pattern, REGION, IO, count=100)
+
+
+def test_hot_cold_concentrates_traffic():
+    pattern = HotColdPattern(REGION, IO, seed=3, hot_fraction=0.1,
+                             hot_access_fraction=0.9)
+    hits = {}
+    for _ in range(4000):
+        offset = pattern.next_offset()
+        hits[offset] = hits.get(offset, 0) + 1
+    # The top-10% most-hit slots should absorb ~90% of accesses.
+    ranked = sorted(hits.values(), reverse=True)
+    hot_slots = max(1, int(len(pattern._permutation) * 0.1))
+    assert sum(ranked[:hot_slots]) / 4000 > 0.7
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       theta=st.floats(min_value=1.01, max_value=3.0))
+def test_zipfian_offsets_stay_aligned_and_in_region(seed, theta):
+    pattern = make_pattern("zipfread", REGION, IO, seed=seed, theta=theta)
+    _offsets_valid(pattern, REGION, IO, count=100)
+
+
+def test_bursty_pattern_inserts_idle_every_burst():
+    base = RandomPattern(REGION, IO, seed=1)
+    pattern = BurstyPattern(base, burst_ios=5, idle_us=1000.0)
+    pauses = []
+    for _ in range(23):
+        pauses.append(pattern.next_think_time_us())
+        pattern.next()
+    # The first burst starts immediately; afterwards a pause precedes every
+    # 5th request.
+    assert pauses[:5] == [0.0] * 5
+    assert pauses[5] == 1000.0
+    assert pauses[10] == 1000.0
+    assert sum(1 for pause in pauses if pause > 0) == 4
+
+
+def test_bursty_duty_cycle_derives_idle_gap():
+    base = RandomPattern(REGION, IO, seed=1)
+    pattern = BurstyPattern(base, burst_ios=10, duty_cycle=0.25,
+                            service_estimate_us=100.0)
+    # on-time = 10 * 100us; duty 0.25 -> idle = 3x on-time.
+    assert pattern.idle_us == pytest.approx(3000.0)
+    full_duty = BurstyPattern(RandomPattern(REGION, IO), burst_ios=4,
+                              duty_cycle=1.0)
+    assert full_duty.idle_us == 0.0
+    with pytest.raises(ValueError):
+        BurstyPattern(base, burst_ios=0, idle_us=1.0)
+    with pytest.raises(ValueError):
+        BurstyPattern(base, burst_ios=1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(write_ratio=st.floats(min_value=0.0, max_value=1.0),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_mixed_pattern_write_fraction_tracks_ratio(write_ratio, seed):
+    pattern = MixedPattern(RandomPattern(REGION, IO, seed=seed), write_ratio,
+                           seed=seed)
+    kinds = [pattern.next()[0] for _ in range(400)]
+    writes = sum(1 for kind in kinds if kind is IOKind.WRITE)
+    assert abs(writes / 400 - write_ratio) < 0.12
+
+
+def test_make_pattern_mixed_families_and_bursty_prefix():
+    for name in ("seqrw", "zipfrw", "hotcoldrw"):
+        pattern = make_pattern(name, REGION, IO, write_ratio=0.5, seed=3)
+        assert isinstance(pattern, MixedPattern)
+        with pytest.raises(ValueError):
+            make_pattern(name, REGION, IO)  # write_ratio required
+    bursty = make_pattern("bursty-hotcoldwrite", REGION, IO, seed=3,
+                          burst_ios=8, idle_us=50.0, hot_fraction=0.2)
+    assert isinstance(bursty, BurstyPattern)
+    assert isinstance(bursty.base, HotColdPattern)
+    assert bursty.base.hot_fraction == pytest.approx(0.2)
+    assert bursty.base.next_kind() is IOKind.WRITE
+    with pytest.raises(ValueError):
+        make_pattern("no-such-pattern", REGION, IO)
+
+
+def test_chunk_map_stride_is_coprime_with_node_count():
+    """The documented invariant behind the termination fix."""
+    for num_nodes in (4, 6, 8, 9, 10, 12, 16):
+        chunk_map = make_map(num_nodes, min(3, num_nodes))
+        for chunk_index in range(64):
+            group = chunk_map.placement_group(chunk_index)
+            if len(group) >= 2:
+                stride = (group[1] - group[0]) % num_nodes
+                assert math.gcd(stride, num_nodes) == 1

@@ -1,0 +1,246 @@
+"""Tests for the scenario-sweep subsystem (grid, hashing, cache, runner, CLI)."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner as _paper_runner  # noqa: F401 (registers figures)
+from repro.experiments.cli import main as cli_main
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario,
+)
+from repro.experiments.sweep import (
+    CellOutcome,
+    CellSpec,
+    SweepCache,
+    SweepResult,
+    SweepRunner,
+    diff_results,
+    expand_grid,
+    run_cell,
+    spec_hash,
+)
+from repro.host.io import KiB, MiB
+
+#: A tiny two-device sweep used throughout (small capacities, few I/Os).
+TINY_SWEEP = scenario(
+    "tiny-sweep-under-test",
+    "test-only sweep",
+    devices=("SSD", "ESSD-2"),
+    base={"pattern": "randwrite", "io_count": 30, "preload": False,
+          "ssd_capacity_bytes": 64 * MiB, "essd_capacity_bytes": 96 * MiB},
+    grid={"io_size": (4 * KiB, 64 * KiB), "queue_depth": (1, 4)},
+    seed=7,
+    seed_mode="derived",
+)
+
+
+# ---------------------------------------------------------------------------
+# Grid expansion and hashing
+# ---------------------------------------------------------------------------
+
+def test_expand_grid_cartesian_product_and_order():
+    points = expand_grid({"b": (1, 2), "a": ("x", "y", "z")})
+    assert len(points) == 6
+    # Axes iterate sorted by name; earlier axes vary slowest.
+    assert points[0] == {"a": "x", "b": 1}
+    assert points[1] == {"a": "x", "b": 2}
+    assert points[-1] == {"a": "z", "b": 2}
+
+
+def test_expand_grid_empty_and_invalid():
+    assert expand_grid({}) == [{}]
+    with pytest.raises(ValueError):
+        expand_grid({"a": ()})
+    with pytest.raises(TypeError):
+        expand_grid({"a": 5})
+
+
+def test_spec_hash_stable_and_sensitive():
+    assert spec_hash({"a": 1, "b": 2}) == spec_hash({"b": 2, "a": 1})
+    assert spec_hash({"a": 1}) != spec_hash({"a": 2})
+    cell = CellSpec(device="SSD", io_size=4096)
+    assert cell.cache_key() == CellSpec(device="SSD", io_size=4096).cache_key()
+    assert cell.cache_key() != CellSpec(device="SSD", io_size=8192).cache_key()
+    # Labels are cosmetic: renaming them must not invalidate the cache.
+    relabelled = CellSpec(device="SSD", io_size=4096, labels=(("name", "x"),))
+    assert relabelled.cache_key() == cell.cache_key()
+
+
+def test_cell_spec_payload_roundtrip():
+    cell = CellSpec(device="ESSD-1", pattern="zipfrw", write_ratio=0.3,
+                    pattern_params=(("theta", 1.2),), labels=(("device", "ESSD-1"),))
+    clone = CellSpec.from_payload(json.loads(json.dumps(cell.to_payload())))
+    assert clone == cell
+    assert clone.cache_key() == cell.cache_key()
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry and expansion
+# ---------------------------------------------------------------------------
+
+def test_scenario_expansion_devices_times_grid():
+    cells = TINY_SWEEP.cells()
+    assert len(cells) == 2 * 4
+    devices = {cell.device for cell in cells}
+    assert devices == {"SSD", "ESSD-2"}
+    # Grid axes that match CellSpec fields land on the field; labels carry
+    # the full grid point.
+    sizes = {cell.io_size for cell in cells}
+    assert sizes == {4 * KiB, 64 * KiB}
+    assert all(dict(cell.labels)["device"] == cell.device for cell in cells)
+    # Derived seeding: no two cells share a seed.
+    seeds = [cell.seed for cell in cells]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_scenario_grid_may_sweep_seed_and_device_fields():
+    spec = scenario("seed-sweep-under-test", "d", devices=("SSD",),
+                    base={"pattern": "randwrite", "io_count": 10,
+                          "preload": False},
+                    grid={"seed": (1, 2, 3)})
+    cells = spec.cells()
+    assert [cell.seed for cell in cells] == [1, 2, 3]
+    assert all(cell.device == "SSD" for cell in cells)
+
+
+def test_quick_cells_shrinks_byte_bounded_floods():
+    from repro.experiments.sweep import quick_cells
+    flood = CellSpec(device="SSD", pattern="randwrite", io_size=4096,
+                     total_bytes=400 * MiB)
+    counted = CellSpec(device="SSD", pattern="randwrite", io_size=4096,
+                       io_count=500)
+    quick = quick_cells([flood, counted], io_count=60)
+    assert quick[0].total_bytes == 50 * MiB
+    assert quick[1].io_count == 60
+
+
+def test_diff_flags_zero_baseline_going_nonzero():
+    import math
+    cell = CellSpec(device="SSD")
+    a = SweepResult("s", [CellOutcome(cell, {"throughput_gbps": 0.0})])
+    b = SweepResult("s", [CellOutcome(cell, {"throughput_gbps": 2.0})])
+    rows = diff_results(a, b)
+    assert rows[0]["relative_change"] == math.inf
+    assert diff_results(a, a)[0]["relative_change"] == 0.0
+
+
+def test_scenario_non_field_axes_become_pattern_params():
+    spec = scenario("zipf-under-test", "d", devices=("ESSD-2",),
+                    base={"pattern": "zipfread", "io_count": 10},
+                    grid={"theta": (1.1, 1.3)})
+    cells = spec.cells()
+    assert [dict(cell.pattern_params)["theta"] for cell in cells] == [1.1, 1.3]
+
+
+def test_registry_contains_paper_and_characterization_scenarios():
+    names = {spec.name for spec in all_scenarios()}
+    assert {"figure2", "figure3", "figure4", "figure5", "table1"} <= names
+    assert {"zipf-hotspot", "hot-cold", "bursty-duty-cycle",
+            "rw-ratio-sweep"} <= names
+    with pytest.raises(KeyError):
+        get_scenario("no-such-scenario")
+    with pytest.raises(ValueError):
+        register(get_scenario("figure2"))
+    with pytest.raises(ValueError):
+        scenario("x", "d", devices=(), seed_mode="nope")
+
+
+# ---------------------------------------------------------------------------
+# Runner: determinism, parallelism, cache
+# ---------------------------------------------------------------------------
+
+def _metrics_of(result: SweepResult) -> list[dict]:
+    return [outcome.metrics for outcome in result.outcomes]
+
+
+def test_serial_and_parallel_execution_are_identical():
+    cells = TINY_SWEEP.cells()
+    serial = SweepRunner(parallel=False).run_cells("tiny", cells)
+    parallel = SweepRunner(parallel=True, max_workers=2).run_cells("tiny", cells)
+    assert _metrics_of(serial) == _metrics_of(parallel)
+    assert [outcome.cell for outcome in serial.outcomes] \
+        == [outcome.cell for outcome in parallel.outcomes]
+
+
+def test_same_seed_reruns_are_deterministic():
+    cell = TINY_SWEEP.cells()[0]
+    assert run_cell(cell) == run_cell(cell)
+
+
+def test_cache_hits_and_force(tmp_path):
+    cells = TINY_SWEEP.cells()[:2]
+    first = SweepRunner(cache_dir=tmp_path).run_cells("tiny", cells)
+    assert first.cache_hits == 0
+    second = SweepRunner(cache_dir=tmp_path).run_cells("tiny", cells)
+    assert second.cache_hits == len(cells)
+    assert _metrics_of(first) == _metrics_of(second)
+    forced = SweepRunner(cache_dir=tmp_path, force=True).run_cells("tiny", cells)
+    assert forced.cache_hits == 0
+    assert _metrics_of(forced) == _metrics_of(first)
+
+
+def test_cache_ignores_corrupt_and_mismatched_entries(tmp_path):
+    cache = SweepCache(tmp_path)
+    cell = TINY_SWEEP.cells()[0]
+    path = cache.store("tiny", cell, {"throughput_gbps": 1.0})
+    assert cache.load("tiny", cell) == {"throughput_gbps": 1.0}
+    path.write_text("{not json")
+    assert cache.load("tiny", cell) is None
+    payload = {"version": -1, "metrics": {"throughput_gbps": 2.0}}
+    path.write_text(json.dumps(payload))
+    assert cache.load("tiny", cell) is None
+
+
+def test_sweep_result_save_load_find_and_diff(tmp_path):
+    cells = TINY_SWEEP.cells()[:3]
+    result = SweepRunner().run_cells("tiny", cells)
+    path = result.save(tmp_path / "sweep.json")
+    loaded = SweepResult.load(path)
+    assert _metrics_of(loaded) == _metrics_of(result)
+    first = cells[0]
+    found = loaded.find(device=first.device,
+                        io_size=first.io_size, queue_depth=first.queue_depth)
+    assert found.cell == first
+    with pytest.raises(KeyError):
+        loaded.find(device="nope")
+    rows = diff_results(result, loaded)
+    assert len(rows) == len(cells)
+    assert all(row["relative_change"] == pytest.approx(0.0) for row in rows)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_list_and_static_table1(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure4" in out and "bursty-duty-cycle" in out
+    assert cli_main(["run", "table1"]) == 0
+    assert "Alibaba Cloud PL3" in capsys.readouterr().out
+
+
+def test_cli_run_parallel_with_cache_and_diff(tmp_path, capsys):
+    register(TINY_SWEEP, replace=True)
+    cache = str(tmp_path / "cache")
+    out_a = str(tmp_path / "a.json")
+    out_b = str(tmp_path / "b.json")
+    assert cli_main(["run", TINY_SWEEP.name, "--workers", "2",
+                     "--cache-dir", cache, "--out", out_a]) == 0
+    first = capsys.readouterr().out
+    assert "0 cached" in first
+    # Second run: every cell is a cache hit and the sweep is identical.
+    assert cli_main(["run", TINY_SWEEP.name, "--workers", "2",
+                     "--cache-dir", cache, "--out", out_b]) == 0
+    second = capsys.readouterr().out
+    assert f"{len(TINY_SWEEP.cells())} cached" in second
+    metrics_a = [entry["metrics"] for entry in json.loads(open(out_a).read())["cells"]]
+    metrics_b = [entry["metrics"] for entry in json.loads(open(out_b).read())["cells"]]
+    assert metrics_a == metrics_b
+    assert cli_main(["diff", out_a, out_b]) == 0
+    assert "0 cells changed" in capsys.readouterr().out

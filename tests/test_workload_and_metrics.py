@@ -260,6 +260,33 @@ def test_throughput_timeline_binning_and_average():
         timeline.record(0.0, 10)  # out of order
 
 
+def test_throughput_timeline_trailing_bins_report_sane_rates():
+    # A partial trailing bin is normalised by its actual span...
+    timeline = ThroughputTimeline()
+    for index in range(30):
+        timeline.record(index * 100.0, 1000)
+    samples = timeline.binned(2000.0)
+    assert samples[-1].duration_us == pytest.approx(900.0)
+    assert samples[-1].gigabytes_per_second == pytest.approx(0.01, rel=0.15)
+    # ...but a sliver just past a boundary folds into the previous bin
+    # instead of being divided by a near-zero span.
+    sliver = ThroughputTimeline()
+    for index in range(20):
+        sliver.record(index * 100.0, 1000)
+    sliver.record(2001.0, 1000)
+    samples = sliver.binned(1000.0)
+    assert len(samples) == 2
+    assert samples[-1].bytes_completed == 11_000
+    assert all(sample.gigabytes_per_second < 0.05 for sample in samples)
+    # Degenerate single-timestamp timeline: no span to derive a rate from;
+    # assume the bin width instead of dividing by ~zero.
+    single = ThroughputTimeline()
+    single.record(5.0, 1000)
+    samples = single.binned(1000.0)
+    assert len(samples) == 1
+    assert samples[0].gigabytes_per_second == pytest.approx(0.001)
+
+
 def test_stats_helpers():
     assert latency_gap(300.0, 10.0) == 30.0
     assert latency_gap(0.0, 0.0) == 1.0
