@@ -1,0 +1,159 @@
+"""Kernel microbenchmark: events/sec and request round-trips/sec.
+
+Measures the fast-path kernel (``Simulator(fast_path=True)``, the default)
+against the legacy heap-only kernel (``fast_path=False``, faithful to the
+pre-refactor scheduler) on four workloads:
+
+* ``immediate`` -- resource ping-pong plus zero-delay timeouts: pure
+  immediately-succeeding bookkeeping events, the fast path's target domain.
+* ``mixed`` -- the device-model shape: grants, zero-delay relays, and
+  non-zero service timeouts interleaved.
+* ``timer`` -- pure non-zero timeouts (heap-dominated; pooling is the only
+  fast-path lever here).
+* ``roundtrip`` -- full ``IORequest`` round trips through a
+  :class:`LoopbackDevice` behind the FIO runner: the whole submission path.
+
+Results (including the fast/legacy speedup per workload) are written to
+``BENCH_kernel.json`` at the repository root so the perf trajectory is
+tracked across PRs.  The hard gate: the ``immediate`` workload must show a
+>= 2x events/sec speedup; the other workloads have softer floors sized for
+noisy CI machines.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.devices import LoopbackDevice
+from repro.sim import Resource, Simulator
+from repro.workload.fio import FioJob, run_job
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = _REPO_ROOT / "BENCH_kernel.json"
+
+#: Timing repetitions per (workload, kernel); fast/legacy runs interleave
+#: and the best of each is recorded, so host-speed drift during the
+#: benchmark hits both kernels instead of skewing the ratio.
+REPEATS = 3
+
+
+def _one_rate(build, fast_path: bool) -> float:
+    sim = Simulator(fast_path=fast_path)
+    build(sim)
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    return sim.scheduled_events / elapsed
+
+
+def _events_per_sec(build) -> tuple[float, float]:
+    """Best (fast, legacy) events/sec over interleaved repetitions."""
+    fast = legacy = 0.0
+    for _ in range(REPEATS):
+        fast = max(fast, _one_rate(build, fast_path=True))
+        legacy = max(legacy, _one_rate(build, fast_path=False))
+    return fast, legacy
+
+
+def _build_immediate(sim: Simulator, pairs: int = 25, iters: int = 800) -> None:
+    """Resource handoff ping-pong: every event is immediately succeeding."""
+    for _ in range(pairs):
+        resource = Resource(sim, capacity=1)
+
+        def player(resource=resource):
+            for _ in range(iters):
+                yield resource.request()
+                resource.release()
+                yield sim.timeout(0)
+
+        sim.process(player())
+        sim.process(player())
+
+
+def _build_mixed(sim: Simulator, workers: int = 50, iters: int = 400) -> None:
+    """Grants + zero-delay relays + non-zero service timeouts (device shape)."""
+    resource = Resource(sim, capacity=4)
+
+    def worker():
+        for _ in range(iters):
+            yield resource.request()
+            yield sim.timeout(0)
+            resource.release()
+            yield sim.timeout(1.0)
+
+    for _ in range(workers):
+        sim.process(worker())
+
+
+def _build_timer(sim: Simulator, workers: int = 100, iters: int = 300) -> None:
+    """Pure timer wheel: non-zero delays, heap in both kernels."""
+    def worker(delay):
+        for _ in range(iters):
+            yield sim.timeout(delay)
+
+    for index in range(workers):
+        sim.process(worker(1.0 + (index % 7) * 0.5))
+
+
+def _one_roundtrip_rate(fast_path: bool, io_count: int) -> float:
+    sim = Simulator(fast_path=fast_path)
+    device = LoopbackDevice(sim, capacity_bytes=1 << 28,
+                            service_time_us=2.0, service_slots=4)
+    job = FioJob(pattern="randread", io_size=4096, queue_depth=8,
+                 io_count=io_count)
+    started = time.perf_counter()
+    result = run_job(sim, device, job)
+    elapsed = time.perf_counter() - started
+    assert result.ios_completed == io_count
+    return io_count / elapsed
+
+
+def _roundtrips_per_sec(io_count: int = 12000) -> tuple[float, float]:
+    fast = legacy = 0.0
+    for _ in range(REPEATS):
+        fast = max(fast, _one_roundtrip_rate(True, io_count))
+        legacy = max(legacy, _one_roundtrip_rate(False, io_count))
+    return fast, legacy
+
+
+def test_kernel_fast_path_speedup_and_artifact():
+    workloads = {
+        "immediate": _build_immediate,
+        "mixed": _build_mixed,
+        "timer": _build_timer,
+    }
+    events = {}
+    for name, build in workloads.items():
+        fast, legacy = _events_per_sec(build)
+        events[name] = {
+            "fast_events_per_sec": round(fast),
+            "legacy_events_per_sec": round(legacy),
+            "speedup": round(fast / legacy, 3),
+        }
+
+    roundtrip_fast, roundtrip_legacy = _roundtrips_per_sec()
+    roundtrips = {
+        "fast_roundtrips_per_sec": round(roundtrip_fast),
+        "legacy_roundtrips_per_sec": round(roundtrip_legacy),
+        "speedup": round(roundtrip_fast / roundtrip_legacy, 3),
+    }
+
+    payload = {
+        "benchmark": "kernel",
+        "headline_speedup": events["immediate"]["speedup"],
+        "events_per_sec": events,
+        "request_roundtrips_per_sec": roundtrips,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nkernel microbenchmark -> {ARTIFACT.name}")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    # The acceptance gate: >= 2x events/sec on immediately-succeeding events.
+    assert events["immediate"]["speedup"] >= 2.0, payload
+    # Softer floors (CI-noise headroom) for the broader shapes: the fast
+    # path must never be a regression and should clearly win the mixed case.
+    assert events["mixed"]["speedup"] >= 1.25, payload
+    assert events["timer"]["speedup"] >= 1.0, payload
+    assert roundtrips["speedup"] >= 1.05, payload

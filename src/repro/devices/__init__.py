@@ -1,0 +1,27 @@
+"""Unified device layer: the submission protocol and the factory registry.
+
+The stack is layered kernel -> devices -> workloads -> sweeps; this package
+is the middle layer's public face:
+
+* :class:`Device` -- the structural protocol every simulated device
+  satisfies (``submit``/``describe``/``stats``/``preload``/``set_tracer``).
+* :func:`create_device` / :func:`register_device` / :func:`device_names` --
+  the factory registry workloads and experiments build devices through.
+* :class:`LoopbackDevice` -- the minimal reference implementation.
+
+See :mod:`repro.devices.protocol` for the contract and
+:mod:`repro.devices.registry` for how to add a device family.
+"""
+
+from repro.devices import catalog  # noqa: F401  (registers the built-ins)
+from repro.devices.loopback import LoopbackDevice
+from repro.devices.protocol import Device
+from repro.devices.registry import create_device, device_names, register_device
+
+__all__ = [
+    "Device",
+    "LoopbackDevice",
+    "create_device",
+    "device_names",
+    "register_device",
+]

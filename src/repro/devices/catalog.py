@@ -1,0 +1,49 @@
+"""Built-in device catalog: the paper's three devices plus the loopback.
+
+Importing :mod:`repro.devices` imports this module, which registers every
+built-in factory.  Capacities default to the profiles' own defaults; the
+experiment layers pass explicit (scaled) capacities.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.devices.loopback import LoopbackDevice
+from repro.devices.registry import register_device
+from repro.ebs import EssdDevice, alibaba_pl3_profile, aws_io2_profile
+from repro.ssd import SsdDevice, samsung_970pro_profile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Simulator
+
+
+@register_device("SSD")
+def _build_ssd(sim: "Simulator", capacity_bytes: Optional[int] = None,
+               name: Optional[str] = None, **kwargs) -> SsdDevice:
+    profile = samsung_970pro_profile(capacity_bytes) if capacity_bytes \
+        else samsung_970pro_profile()
+    return SsdDevice(sim, profile, name=name or "SSD", **kwargs)
+
+
+@register_device("ESSD-1")
+def _build_essd1(sim: "Simulator", capacity_bytes: Optional[int] = None,
+                 name: Optional[str] = None, **kwargs) -> EssdDevice:
+    profile = aws_io2_profile(capacity_bytes) if capacity_bytes \
+        else aws_io2_profile()
+    return EssdDevice(sim, profile, name=name, **kwargs)
+
+
+@register_device("ESSD-2")
+def _build_essd2(sim: "Simulator", capacity_bytes: Optional[int] = None,
+                 name: Optional[str] = None, **kwargs) -> EssdDevice:
+    profile = alibaba_pl3_profile(capacity_bytes) if capacity_bytes \
+        else alibaba_pl3_profile()
+    return EssdDevice(sim, profile, name=name, **kwargs)
+
+
+@register_device("LOOP")
+def _build_loopback(sim: "Simulator", capacity_bytes: Optional[int] = None,
+                    name: Optional[str] = None, **kwargs) -> LoopbackDevice:
+    return LoopbackDevice(sim, capacity_bytes or (1 << 30),
+                          name=name or "loopback", **kwargs)

@@ -1,0 +1,81 @@
+"""Factory registry mapping device names to :class:`Device` builders.
+
+This is the single place the rest of the stack instantiates devices from: a
+scenario cell says ``"ESSD-2"``, the registry builds the matching model.
+Registering a new device family makes it available everywhere at once --
+workloads, multi-device cells, the CLI -- with no per-experiment glue.
+
+Adding a device
+---------------
+Decorate a factory with :func:`register_device`::
+
+    @register_device("MY-DEV")
+    def _build_my_dev(sim, capacity_bytes=None, name=None):
+        return MyDevice(sim, capacity_bytes or DEFAULT, name=name or "MY-DEV")
+
+A factory takes ``(sim, capacity_bytes=None, name=None, **kwargs)`` and
+returns an object satisfying :class:`repro.devices.Device`.  The built-in
+catalog (the paper's SSD / ESSD-1 / ESSD-2 plus the loopback test device)
+registers itself on import of :mod:`repro.devices`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devices.protocol import Device
+    from repro.sim import Simulator
+
+DeviceFactory = Callable[..., "Device"]
+
+_FACTORIES: dict[str, DeviceFactory] = {}
+
+
+class UnknownDeviceError(ValueError, KeyError):
+    """Raised for a device name with no registered factory.
+
+    Subclasses both ``ValueError`` (invalid argument, the historical
+    ``build_device`` contract) and ``KeyError`` (registry miss).
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
+def register_device(device_name: str,
+                    factory: Optional[DeviceFactory] = None,
+                    replace: bool = False):
+    """Register ``factory`` under ``device_name`` (usable as a decorator)."""
+    def _register(fn: DeviceFactory) -> DeviceFactory:
+        if device_name in _FACTORIES and not replace:
+            raise ValueError(f"device {device_name!r} is already registered")
+        _FACTORIES[device_name] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def device_names() -> list[str]:
+    """All registered device names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def create_device(sim: "Simulator", device_name: str,
+                  capacity_bytes: Optional[int] = None,
+                  name: Optional[str] = None, **kwargs) -> "Device":
+    """Build a registered device on ``sim``.
+
+    ``capacity_bytes=None`` uses the factory's default; ``name`` overrides
+    the instance name (several instances of one family can then share a
+    simulation without colliding in traces and stats).
+    """
+    try:
+        factory = _FACTORIES[device_name]
+    except KeyError:
+        known = ", ".join(device_names())
+        raise UnknownDeviceError(
+            f"unknown device {device_name!r}; known: {known}") from None
+    return factory(sim, capacity_bytes=capacity_bytes, name=name, **kwargs)

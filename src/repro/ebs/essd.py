@@ -59,6 +59,9 @@ class EssdDevice(BlockDevice):
 
     # -- request service -----------------------------------------------------------
     def _serve(self, request: IORequest):
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.enter(request, "service")  # virtual-block-service overhead
         yield self.sim.timeout(self._client_overhead(request))
         if request.kind is IOKind.FLUSH:
             # Replicated writes are durable on completion; flush is a no-op
@@ -66,7 +69,11 @@ class EssdDevice(BlockDevice):
             return request
         if request.kind is IOKind.TRIM:
             return request
+        if tracer is not None:
+            tracer.enter(request, "queue")  # QoS admission (volume budgets)
         yield from self.qos.admit(request.kind, request.size)
+        if tracer is not None:
+            tracer.enter(request, "network")  # cluster fan-out + media
         sequential = self._note_access(request)
         subrequests = self.cluster.split(request.offset, request.size)
         if len(subrequests) == 1:

@@ -39,6 +39,42 @@ from repro.experiments.sweep import (
 _TABLE_METRICS = ("mean_us", "p999_us", "throughput_gbps", "iops")
 
 
+def _render_stage_breakdown(stages: dict) -> str:
+    """Table for one trace breakdown ({stage: {count, mean_us, ...}})."""
+    rows = []
+    for stage, stats in stages.items():
+        rows.append([stage, str(stats["count"]), f"{stats['mean_us']:.1f}",
+                     f"{stats['p99_us']:.1f}", f"{stats['share']:.1%}"])
+    return format_table(["stage", "count", "mean_us", "p99_us", "share"], rows)
+
+
+def _print_traces(result) -> None:
+    """Per-cell request-path latency breakdowns (cells with trace=True)."""
+    for outcome in result.outcomes:
+        trace = outcome.metrics.get("trace")
+        if not trace:
+            continue
+        labels = json.dumps(outcome.params, sort_keys=True)
+        print(f"\n## request-path breakdown {labels} "
+              f"({trace['completed_requests']} requests)")
+        per_device = trace.get("devices")
+        if per_device:
+            for device_name, stages in sorted(per_device.items()):
+                print(f"[{device_name}]")
+                print(_render_stage_breakdown(stages))
+        else:
+            print(_render_stage_breakdown(trace["stages"]))
+
+        streams = outcome.metrics.get("streams")
+        if streams:
+            rows = [[name, s["device"], s["pattern"], str(s["queue_depth"]),
+                     f"{s['mean_us']:.1f}", f"{s['p99_us']:.1f}",
+                     f"{s['throughput_gbps']:.2f}"]
+                    for name, s in sorted(streams.items())]
+            print(format_table(["stream", "device", "pattern", "qd",
+                                "mean_us", "p99_us", "GB/s"], rows))
+
+
 def _cmd_list(_args) -> int:
     rows = []
     for spec in all_scenarios():
@@ -85,6 +121,7 @@ def _cmd_run(args) -> int:
         rows.append(row)
     print(f"# {spec.name}: {spec.description}")
     print(format_table(headers, rows))
+    _print_traces(result)
     mode = "serial" if args.serial else f"parallel x{runner.max_workers or 'auto'}"
     print(f"{len(result)} cells in {elapsed:.1f}s ({mode}, "
           f"{result.cache_hits} cached)")

@@ -5,6 +5,10 @@ fixes the (scaled) capacities and keeps the paper's 1:2 SSD:ESSD capacity
 ratio, and measures workloads with :func:`measure_cell` -- one FIO-style job
 with a bounded I/O count, so experiment cost stays predictable regardless of
 how fast a configuration happens to be.
+
+Device construction goes through the :mod:`repro.devices` registry;
+:class:`DeviceKind` remains as the typed enumeration of the paper's Table I
+devices (its values are the registry names).
 """
 
 from __future__ import annotations
@@ -13,11 +17,10 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.ebs import EssdDevice, alibaba_pl3_profile, aws_io2_profile
+from repro.devices import create_device
 from repro.host.io import GiB, MiB
 from repro.sim import Simulator
-from repro.ssd import SsdDevice, samsung_970pro_profile
-from repro.workload.fio import FioJob, JobResult, run_job
+from repro.workload.fio import FioJob, JobResult, run_job  # noqa: F401 (re-export)
 
 
 class DeviceKind(enum.Enum):
@@ -50,35 +53,42 @@ class ExperimentScale:
         """Closer-to-paper scale (slower; used for Figure 3's GC study)."""
         return cls(ssd_capacity_bytes=1 * GiB, essd_capacity_bytes=2 * GiB)
 
-    def capacity_of(self, kind: DeviceKind) -> int:
-        return self.ssd_capacity_bytes if kind is DeviceKind.SSD \
+    def capacity_of(self, kind: "DeviceKind | str") -> int:
+        """Scaled capacity for a device name (SSD uses the SSD capacity,
+        everything else the ESSD capacity)."""
+        name = kind.value if isinstance(kind, DeviceKind) else str(kind)
+        return self.ssd_capacity_bytes if name == DeviceKind.SSD.value \
             else self.essd_capacity_bytes
 
 
-def build_device(sim: Simulator, kind: DeviceKind,
-                 scale: Optional[ExperimentScale] = None):
-    """Instantiate one of the paper's three devices on ``sim``."""
-    scale = scale or ExperimentScale.default()
-    if kind is DeviceKind.SSD:
-        return SsdDevice(sim, samsung_970pro_profile(scale.ssd_capacity_bytes), name="SSD")
-    if kind is DeviceKind.ESSD1:
-        return EssdDevice(sim, aws_io2_profile(scale.essd_capacity_bytes))
-    if kind is DeviceKind.ESSD2:
-        return EssdDevice(sim, alibaba_pl3_profile(scale.essd_capacity_bytes))
-    raise ValueError(f"unknown device kind: {kind}")
-
-
-def measure_cell(kind: DeviceKind, job: FioJob,
+def build_device(sim: Simulator, kind: "DeviceKind | str",
                  scale: Optional[ExperimentScale] = None,
-                 preload: bool = True, return_device: bool = False):
+                 name: Optional[str] = None):
+    """Instantiate a registered device on ``sim`` at experiment scale."""
+    scale = scale or ExperimentScale.default()
+    device_name = kind.value if isinstance(kind, DeviceKind) else str(kind)
+    return create_device(sim, device_name,
+                         capacity_bytes=scale.capacity_of(device_name),
+                         name=name)
+
+
+def measure_cell(kind: "DeviceKind | str", job: FioJob,
+                 scale: Optional[ExperimentScale] = None,
+                 preload: bool = True, return_device: bool = False,
+                 trace: bool = False):
     """Run one (device, job) cell on a fresh simulator and return its result.
 
     With ``return_device=True`` the ``(result, device)`` pair is returned so
     callers can read device statistics (write amplification, flow-limit
-    state) after the run.
+    state) after the run.  With ``trace=True`` a request-path
+    :class:`~repro.sim.trace.Tracer` is attached to the device (reachable as
+    ``device.tracer`` afterwards).
     """
     sim = Simulator()
     device = build_device(sim, kind, scale)
+    if trace:
+        from repro.sim import Tracer
+        device.set_tracer(Tracer(sim))
     if preload:
         device.preload()
     result = run_job(sim, device, job)

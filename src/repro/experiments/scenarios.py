@@ -54,13 +54,22 @@ DEFAULT_ESSD_CAPACITY = 192 * MiB
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A named sweep: devices x parameter grid over one workload family."""
+    """A named sweep: devices x parameter grid over one workload family.
+
+    With ``streams`` set, every cell runs several concurrent workload
+    streams in one simulation (noisy neighbor / mixed fleet): each stream
+    inherits the cell's job fields and applies its own overrides, including
+    an optional per-stream ``device``.  A grid axis named
+    ``<stream>.<field>`` targets that stream's override instead of the cell.
+    """
 
     name: str
     description: str
     devices: tuple[str, ...]
     base: tuple[tuple[str, Any], ...] = ()
     grid: tuple[tuple[str, tuple], ...] = ()
+    #: Concurrent streams per cell: tuple of (name, overrides) pairs.
+    streams: tuple[tuple[str, tuple], ...] = ()
     seed: int = 17
     #: "fixed" uses ``seed`` for every cell (paper-figure behaviour);
     #: "derived" derives a per-cell seed from the grid point, so no two cells
@@ -85,11 +94,25 @@ class ScenarioSpec:
             for point in self.grid_points():
                 fields = dict(base)
                 pattern_params = dict(fields.pop("pattern_params", ()))
+                stream_overrides = {name: dict(overrides)
+                                    for name, overrides in self.streams}
                 for axis, value in point.items():
-                    if axis in _CELL_FIELDS:
+                    if "." in axis:
+                        stream_name, _, stream_field = axis.partition(".")
+                        if stream_name not in stream_overrides:
+                            raise ValueError(
+                                f"grid axis {axis!r} targets unknown stream "
+                                f"{stream_name!r} (streams: "
+                                f"{sorted(stream_overrides)})")
+                        stream_overrides[stream_name][stream_field] = value
+                    elif axis in _CELL_FIELDS:
                         fields[axis] = value
                     else:
                         pattern_params[axis] = value
+                if stream_overrides:
+                    fields["streams"] = tuple(sorted(
+                        (name, tuple(sorted(overrides.items())))
+                        for name, overrides in stream_overrides.items()))
                 labels = {"device": device, **point}
                 seed = self.seed if self.seed_mode == "fixed" \
                     else derive_seed(self.seed, labels)
@@ -110,6 +133,7 @@ class ScenarioSpec:
 def scenario(name: str, description: str, devices: Sequence[str],
              base: Optional[Mapping[str, Any]] = None,
              grid: Optional[Mapping[str, Sequence[Any]]] = None,
+             streams: Optional[Mapping[str, Mapping[str, Any]]] = None,
              seed: int = 17, seed_mode: str = "fixed",
              tags: Sequence[str] = (),
              cell_builder: Optional[Callable[[], list[CellSpec]]] = None,
@@ -123,6 +147,9 @@ def scenario(name: str, description: str, devices: Sequence[str],
         devices=tuple(devices),
         base=tuple(sorted((base or {}).items())),
         grid=tuple((axis, tuple(values)) for axis, values in (grid or {}).items()),
+        streams=tuple(sorted(
+            (stream_name, tuple(sorted(overrides.items())))
+            for stream_name, overrides in (streams or {}).items())),
         seed=seed,
         seed_mode=seed_mode,
         tags=tuple(tags),
@@ -233,6 +260,42 @@ register(scenario(
     seed=31,
     seed_mode="derived",
     tags=("bursty",),
+))
+
+register(scenario(
+    "noisy-neighbor",
+    "Latency-sensitive 4K random reads vs a bulk sequential writer sharing "
+    "one device; sweeps the neighbor's queue depth, traces the request path",
+    devices=("SSD", "ESSD-2"),
+    base={"io_count": 200, "preload": True, "trace": True},
+    streams={
+        "victim": {"pattern": "randread", "io_size": 4 * KiB,
+                   "queue_depth": 1, "io_count": 200},
+        "neighbor": {"pattern": "randwrite", "io_size": 256 * KiB,
+                     "io_count": 120},
+    },
+    grid={"neighbor.queue_depth": (1, 8, 32)},
+    seed=61,
+    seed_mode="derived",
+    tags=("multi-tenant", "trace"),
+))
+
+register(scenario(
+    "mixed-fleet",
+    "SSD + ESSD-1 + ESSD-2 serving the same workload under one clock, with "
+    "per-stage latency breakdowns from the trace layer",
+    devices=("fleet",),
+    base={"pattern": "randwrite", "queue_depth": 8, "io_count": 150,
+          "preload": True, "trace": True},
+    streams={
+        "on-ssd": {"device": "SSD"},
+        "on-essd1": {"device": "ESSD-1"},
+        "on-essd2": {"device": "ESSD-2"},
+    },
+    grid={"io_size": (16 * KiB, 128 * KiB)},
+    seed=67,
+    seed_mode="derived",
+    tags=("multi-tenant", "fleet", "trace"),
 ))
 
 register(scenario(

@@ -29,6 +29,7 @@ registered in :mod:`repro.experiments.scenarios`.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import itertools
 import json
@@ -36,14 +37,45 @@ import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, replace
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence
 
-#: Bump when device-model changes invalidate previously cached sweep results.
-CACHE_VERSION = 1
+#: Manual override for cache invalidation.  Rarely needed now: cache keys
+#: also include a fingerprint of the device-model source files (see
+#: :func:`model_fingerprint`), so model changes auto-invalidate.
+CACHE_VERSION = 2
 
 #: Default cache directory (overridable per-runner or via the environment).
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_SWEEP_CACHE", ".sweep-cache")
+
+#: Sub-packages of ``repro`` whose source defines simulation physics; their
+#: contents make up the cache fingerprint.  Experiment/CLI modules are
+#: deliberately excluded -- they orchestrate, they do not change results.
+_MODEL_PACKAGES = ("sim", "host", "flash", "ssd", "ebs", "devices", "workload",
+                   "metrics")
+
+
+@lru_cache(maxsize=1)
+def model_fingerprint() -> str:
+    """Digest of every device-model source file (auto cache invalidation).
+
+    Any edit to the kernel, a device model, or the workload generators
+    yields a new fingerprint, so previously cached sweep results stop
+    matching without anyone remembering to bump :data:`CACHE_VERSION`.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for package in _MODEL_PACKAGES:
+        package_dir = root / package
+        if not package_dir.is_dir():
+            continue
+        for path in sorted(package_dir.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
 
 
 # ---------------------------------------------------------------------------
@@ -113,6 +145,16 @@ class CellSpec:
     #: Bin width for the throughput-over-time series ("auto" adapts to the
     #: run duration; None skips the series entirely).
     series_bin_us: Optional[float | str] = None
+    #: Concurrent workload streams sharing this cell's simulation: a sorted
+    #: tuple of ``(stream_name, overrides)`` pairs, each override a sorted
+    #: tuple of (field, value) pairs.  Streams inherit the cell's job fields
+    #: and may override any of them plus ``device`` -- several streams on
+    #: one device model a noisy neighbor, streams on different devices a
+    #: mixed fleet.  Empty = classic single-job cell.
+    streams: tuple = ()
+    #: Attach a request-path tracer and report the per-stage latency
+    #: breakdown in the metrics (``metrics["trace"]``).
+    trace: bool = False
     #: Free-form labels carried through to the result (not part of the job).
     labels: tuple = ()
 
@@ -120,6 +162,10 @@ class CellSpec:
         payload = asdict(self)
         payload["pattern_params"] = list(list(pair) for pair in self.pattern_params)
         payload["labels"] = list(list(pair) for pair in self.labels)
+        payload["streams"] = [
+            [name, [list(pair) for pair in overrides]]
+            for name, overrides in self.streams
+        ]
         return payload
 
     @classmethod
@@ -127,7 +173,14 @@ class CellSpec:
         data = dict(payload)
         data["pattern_params"] = tuple(tuple(pair) for pair in data.get("pattern_params", ()))
         data["labels"] = tuple(tuple(pair) for pair in data.get("labels", ()))
+        data["streams"] = tuple(
+            (name, tuple(tuple(pair) for pair in overrides))
+            for name, overrides in data.get("streams", ()))
         return cls(**data)
+
+    def stream_specs(self) -> list[tuple[str, dict[str, Any]]]:
+        """The streams as ``(name, overrides-dict)`` pairs (run order)."""
+        return [(name, dict(overrides)) for name, overrides in self.streams]
 
     def cache_key(self) -> str:
         # Labels are cosmetic (display/lookup only); excluding them keeps the
@@ -135,7 +188,105 @@ class CellSpec:
         # with identical physics.
         payload = self.to_payload()
         payload.pop("labels")
-        return spec_hash({"version": CACHE_VERSION, "cell": payload})
+        return spec_hash({"version": CACHE_VERSION,
+                          "models": model_fingerprint(),
+                          "cell": payload})
+
+
+#: FioJob fields a cell (and a stream override) may set.
+_JOB_FIELDS = ("pattern", "io_size", "queue_depth", "write_ratio", "io_count",
+               "total_bytes", "runtime_us", "ramp_ios", "think_time_us",
+               "pattern_params", "seed")
+
+
+def _job_from_cell(cell: CellSpec, name: str, overrides: Mapping[str, Any],
+                   index: int):
+    """Build one stream's FioJob: cell fields as defaults, overrides on top."""
+    from repro.workload.fio import FioJob
+
+    fields = {field_name: getattr(cell, field_name) for field_name in _JOB_FIELDS}
+    # Unless a stream pins its own seed, derive one per stream so concurrent
+    # streams never share an RNG sequence.
+    fields["seed"] = cell.seed + 7919 * index
+    for key, value in overrides.items():
+        if key == "pattern_params":
+            value = tuple(tuple(pair) for pair in value)
+        fields[key] = value
+    return FioJob(name=name, **fields)
+
+
+def _run_stream_cell(cell: CellSpec) -> dict[str, Any]:
+    """Execute a multi-stream cell: all streams share one simulation."""
+    from repro.devices import create_device
+    from repro.experiments.common import ExperimentScale
+    from repro.metrics.latency import LatencyRecorder
+    from repro.sim import Simulator, Tracer
+    from repro.workload.fio import run_streams
+
+    sim = Simulator()
+    scale = ExperimentScale(ssd_capacity_bytes=cell.ssd_capacity_bytes,
+                            essd_capacity_bytes=cell.essd_capacity_bytes)
+    tracer = Tracer(sim) if cell.trace else None
+    devices: dict[str, Any] = {}
+    streams = []
+    # A traced single-job cell is just a one-stream cell.
+    stream_specs = cell.stream_specs() or [("job", {})]
+    for index, (name, overrides) in enumerate(stream_specs):
+        device_name = overrides.pop("device", cell.device)
+        device = devices.get(device_name)
+        if device is None:
+            device = create_device(sim, device_name,
+                                   capacity_bytes=scale.capacity_of(device_name))
+            if cell.preload:
+                device.preload()
+            if tracer is not None:
+                device.set_tracer(tracer)
+            devices[device_name] = device
+        streams.append((device, _job_from_cell(cell, name, overrides, index),
+                        device_name))
+    results = run_streams(sim, [(device, job) for device, job, _ in streams])
+
+    started = min(result.started_us for result in results)
+    finished = max(result.finished_us for result in results)
+    duration = finished - started
+    combined = LatencyRecorder()
+    for result in results:
+        combined = combined.merge(result.latency)
+    summary = combined.summary()
+    total_read = sum(result.bytes_read for result in results)
+    total_written = sum(result.bytes_written for result in results)
+    total_ios = sum(result.ios_completed for result in results)
+    metrics: dict[str, Any] = {
+        "ios_completed": total_ios,
+        "bytes_read": total_read,
+        "bytes_written": total_written,
+        "duration_us": duration,
+        "throughput_gbps": (total_read + total_written) / duration / 1000.0
+        if duration > 0 else 0.0,
+        "iops": total_ios / duration * 1e6 if duration > 0 else 0.0,
+        "mean_us": summary.mean_us,
+        "p50_us": summary.p50_us,
+        "p99_us": summary.p99_us,
+        "p999_us": summary.p999_us,
+        "max_us": summary.max_us,
+        "streams": {},
+    }
+    for (_device, job, device_name), result in zip(streams, results):
+        stream_summary = result.latency.summary()
+        metrics["streams"][job.name] = {
+            "device": device_name,
+            "pattern": job.pattern,
+            "queue_depth": job.queue_depth,
+            "ios_completed": result.ios_completed,
+            "throughput_gbps": result.throughput_gbps,
+            "iops": result.iops,
+            "mean_us": stream_summary.mean_us,
+            "p99_us": stream_summary.p99_us,
+            "p999_us": stream_summary.p999_us,
+        }
+    if tracer is not None:
+        metrics["trace"] = tracer.to_payload()
+    return metrics
 
 
 def run_cell(cell: CellSpec) -> dict[str, Any]:
@@ -147,6 +298,9 @@ def run_cell(cell: CellSpec) -> dict[str, Any]:
     """
     from repro.experiments.common import DeviceKind, ExperimentScale, measure_cell
     from repro.workload.fio import FioJob
+
+    if cell.streams:
+        return _run_stream_cell(cell)
 
     kind = DeviceKind(cell.device)
     scale = ExperimentScale(ssd_capacity_bytes=cell.ssd_capacity_bytes,
@@ -166,7 +320,7 @@ def run_cell(cell: CellSpec) -> dict[str, Any]:
         seed=cell.seed,
     )
     result, device = measure_cell(kind, job, scale, preload=cell.preload,
-                                  return_device=True)
+                                  return_device=True, trace=cell.trace)
     summary = result.latency.summary()
     metrics: dict[str, Any] = {
         "ios_completed": result.ios_completed,
@@ -201,6 +355,8 @@ def run_cell(cell: CellSpec) -> dict[str, Any]:
     for attr in ("write_amplification", "flow_limited"):
         if hasattr(device, attr):
             metrics[attr] = getattr(device, attr)
+    if device.tracer is not None:
+        metrics["trace"] = device.tracer.to_payload()
     return metrics
 
 
@@ -360,6 +516,37 @@ def diff_results(a: SweepResult, b: SweepResult,
 # Runner
 # ---------------------------------------------------------------------------
 
+#: Process pool shared by every SweepRunner in this interpreter.  Spawning a
+#: pool per sweep dominated the cost of many-small-cell sweeps; the pool is
+#: created lazily on the first parallel run, grown (recreated) if a later
+#: run wants more workers, and torn down at interpreter exit.
+_SHARED_POOL: Optional[ProcessPoolExecutor] = None
+_SHARED_POOL_WORKERS = 0
+
+
+def shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent worker pool, (re)created with >= ``workers`` workers."""
+    global _SHARED_POOL, _SHARED_POOL_WORKERS
+    if _SHARED_POOL is None or _SHARED_POOL_WORKERS < workers:
+        if _SHARED_POOL is not None:
+            _SHARED_POOL.shutdown(wait=False)
+        _SHARED_POOL = ProcessPoolExecutor(max_workers=workers)
+        _SHARED_POOL_WORKERS = workers
+    return _SHARED_POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the persistent pool (no-op when none exists)."""
+    global _SHARED_POOL, _SHARED_POOL_WORKERS
+    if _SHARED_POOL is not None:
+        _SHARED_POOL.shutdown(wait=True)
+        _SHARED_POOL = None
+        _SHARED_POOL_WORKERS = 0
+
+
+atexit.register(shutdown_shared_pool)
+
+
 class SweepRunner:
     """Executes the cells of a scenario, optionally in parallel, with caching.
 
@@ -417,8 +604,8 @@ class SweepRunner:
             return [run_cell(cell) for cell in cells]
         workers = self.max_workers or os.cpu_count() or 2
         workers = max(1, min(workers, len(cells)))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_cell, cells))
+        # The pool persists across run() calls (and runners); see shared_pool.
+        return list(shared_pool(workers).map(run_cell, cells))
 
 
 def quick_cells(cells: Sequence[CellSpec], io_count: int = 60) -> list[CellSpec]:
@@ -426,16 +613,33 @@ def quick_cells(cells: Sequence[CellSpec], io_count: int = 60) -> list[CellSpec]
 
     Count-bounded cells are capped at ``io_count`` I/Os; byte-bounded cells
     (sustained floods) are cut to an eighth of their volume, floored so at
-    least ``io_count`` I/Os still run.
+    least ``io_count`` I/Os still run.  Stream overrides shrink the same way.
     """
+    def shrink_streams(cell: CellSpec) -> tuple:
+        shrunk_streams = []
+        for name, overrides in cell.streams:
+            fields = dict(overrides)
+            if fields.get("io_count") is not None:
+                fields["io_count"] = min(fields["io_count"], io_count)
+            elif fields.get("total_bytes") is not None:
+                # A stream without its own io_size inherits the cell's.
+                stream_io_size = fields.get("io_size", cell.io_size)
+                fields["total_bytes"] = min(
+                    fields["total_bytes"],
+                    max(stream_io_size * io_count,
+                        fields["total_bytes"] // 8))
+            shrunk_streams.append((name, tuple(sorted(fields.items()))))
+        return tuple(shrunk_streams)
+
     shrunk = []
     for cell in cells:
+        changes: dict[str, Any] = {}
         if cell.io_count is not None:
-            shrunk.append(replace(cell, io_count=min(cell.io_count, io_count)))
+            changes["io_count"] = min(cell.io_count, io_count)
         elif cell.total_bytes is not None:
             quick_bytes = max(cell.io_size * io_count, cell.total_bytes // 8)
-            shrunk.append(replace(cell, total_bytes=min(cell.total_bytes,
-                                                        quick_bytes)))
-        else:
-            shrunk.append(cell)
+            changes["total_bytes"] = min(cell.total_bytes, quick_bytes)
+        if cell.streams:
+            changes["streams"] = shrink_streams(cell)
+        shrunk.append(replace(cell, **changes) if changes else cell)
     return shrunk

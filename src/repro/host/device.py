@@ -1,15 +1,22 @@
-"""The :class:`BlockDevice` abstraction all simulated devices implement."""
+"""The :class:`BlockDevice` base class all bundled device models build on.
+
+``BlockDevice`` implements the full :class:`repro.devices.Device` protocol
+(submission, statistics, tracing, preload) so concrete models only write
+``_serve``.  Workloads and experiments are typed against the protocol, not
+this class -- a device need not inherit from it.
+"""
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.host.io import IOKind, IORequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Event, Simulator
+    from repro.sim.trace import Tracer
 
 
 @dataclass
@@ -66,13 +73,21 @@ class BlockDevice(abc.ABC):
         self.logical_block_size = logical_block_size
         self.name = name
         self.stats = DeviceStats()
+        #: Request-path tracer; ``None`` (the default) keeps tracing free.
+        self.tracer: Optional["Tracer"] = None
 
     # -- public API ---------------------------------------------------------
+    def set_tracer(self, tracer: Optional["Tracer"]) -> None:
+        """Attach a :class:`repro.sim.trace.Tracer` (``None`` detaches)."""
+        self.tracer = tracer
+
     def submit(self, request: IORequest) -> "Event":
         """Submit ``request``; returns an event that succeeds with the request
         once the device has completed it."""
         self.validate(request)
         request.submit_time = self.sim.now
+        if self.tracer is not None:
+            self.tracer.start(request, self.name)
         return self.sim.process(self._complete(request))
 
     def read(self, offset: int, size: int, **kwargs) -> "Event":
@@ -103,11 +118,28 @@ class BlockDevice(abc.ABC):
                 f"request [{request.offset}, {request.end_offset}) exceeds "
                 f"device capacity {self.capacity_bytes}")
 
+    def preload(self, offset: int = 0, size: Optional[int] = None) -> None:
+        """Precondition the device for read workloads; default is a no-op."""
+
+    def describe(self) -> dict:
+        """JSON-serialisable configuration + statistics summary."""
+        return {
+            "name": self.name,
+            "kind": type(self).__name__,
+            "capacity_bytes": self.capacity_bytes,
+            "logical_block_size": self.logical_block_size,
+            "ios_completed": self.stats.ios_completed,
+            "bytes_read": self.stats.bytes_read,
+            "bytes_written": self.stats.bytes_written,
+        }
+
     # -- plumbing -----------------------------------------------------------
     def _complete(self, request: IORequest):
         result = yield from self._serve(request)
         request.complete_time = self.sim.now
         self.stats.record(request)
+        if self.tracer is not None:
+            self.tracer.finish(request)
         self.on_complete(request)
         return result if result is not None else request
 

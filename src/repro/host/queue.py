@@ -10,18 +10,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.host.device import BlockDevice
 from repro.host.io import IORequest
 from repro.sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devices.protocol import Device
     from repro.sim import Simulator
 
 
 class SubmissionQueue:
     """Limits outstanding requests to ``depth`` and tracks queue statistics."""
 
-    def __init__(self, sim: "Simulator", device: BlockDevice, depth: int):
+    def __init__(self, sim: "Simulator", device: "Device", depth: int):
         if depth < 1:
             raise ValueError(f"queue depth must be >= 1, got {depth}")
         self.sim = sim

@@ -21,8 +21,17 @@ The kernel provides:
 """
 
 from repro.sim.engine import Simulator
-from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    ConditionValue,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
 from repro.sim.resources import Resource, Store, TokenBucket
+from repro.sim.trace import Tracer
 
 __all__ = [
     "Simulator",
@@ -31,8 +40,10 @@ __all__ = [
     "Process",
     "AllOf",
     "AnyOf",
+    "ConditionValue",
     "Interrupt",
     "Resource",
     "Store",
     "TokenBucket",
+    "Tracer",
 ]

@@ -3,19 +3,59 @@
 :class:`Simulator` keeps a heap of ``(time, priority, sequence, event)``
 entries and processes them in order.  Simulation time is a float in
 **microseconds** by convention throughout the repository.
+
+Fast path
+---------
+Device models spend most of their event budget on *immediately-succeeding*
+events: free ``Resource.request`` grants, zero-delay token-bucket grants,
+relays for already-processed events, and process bootstraps.  With
+``fast_path=True`` (the default) the kernel
+
+* keeps those zero-delay, normal-priority events in a FIFO deque instead of
+  the heap (O(1) instead of O(log n)), interleaved with heap entries by
+  global sequence number so the processing order is **bit-identical** to
+  the heap-only kernel;
+* pools :class:`Timeout` and kernel-created grant :class:`Event` objects,
+  recycling them (callback list included) once their callbacks have run,
+  provided every callback was a plain process resumption -- events held by
+  conditions or user code are never recycled (see the pooling discipline
+  note in :mod:`repro.sim.events`);
+* runs :meth:`Simulator.run` as a tight inlined loop instead of a chain of
+  ``step``/``dispatch`` method calls.
+
+``fast_path=False`` restores the original heap-only, allocation-per-event
+behavior; the kernel microbenchmark (``benchmarks/test_bench_kernel.py``)
+runs both and records the speedup in ``BENCH_kernel.json``.
+
+The kernel relies on one invariant user code must keep (it always has):
+callbacks are never appended to an event that is already being processed.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, Optional
+from collections import deque
+from types import MethodType
+from typing import Any, Deque, Generator, Iterable, Optional
 
-from repro.sim.events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
+from repro.sim.events import (
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+)
 
-#: Priority used for ordinary events.
-PRIORITY_NORMAL = 1
-#: Priority used for "urgent" bookkeeping events processed before normal ones.
-PRIORITY_URGENT = 0
+__all__ = ["EmptySchedule", "Simulator", "PRIORITY_NORMAL", "PRIORITY_URGENT"]
+
+#: Upper bound on each object pool (events / timeouts) so a burst of traffic
+#: cannot pin an unbounded amount of memory.
+_POOL_LIMIT = 512
+
+_PROCESS_RESUME = Process._resume
 
 
 class EmptySchedule(Exception):
@@ -24,6 +64,15 @@ class EmptySchedule(Exception):
 
 class Simulator:
     """Discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulation clock value (microseconds).
+    fast_path:
+        Enable the zero-delay deque, object pooling, and the inlined run
+        loop (see module docstring).  Event ordering is identical either
+        way.
 
     Examples
     --------
@@ -38,11 +87,20 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, fast_path: bool = True):
         self._now = float(start_time)
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: Zero-delay, normal-priority events at the *current* time, FIFO by
+        #: sequence number (stored on the event as ``_seq`` to avoid a tuple
+        #: per entry).  Invariant: while non-empty, every entry was scheduled
+        #: at ``self._now`` (time never regresses and the run loop drains
+        #: this deque before advancing the clock).
+        self._immediate: Deque[Event] = deque()
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        self.fast_path = bool(fast_path)
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
 
     # -- clock ------------------------------------------------------------
     @property
@@ -58,7 +116,12 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events still sitting in the schedule."""
-        return len(self._queue)
+        return len(self._queue) + len(self._immediate)
+
+    @property
+    def scheduled_events(self) -> int:
+        """Total events ever scheduled (the microbenchmark's event count)."""
+        return self._sequence
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -67,6 +130,23 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` microseconds from now."""
+        pool = self._timeout_pool
+        if pool and delay >= 0:
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout._value = value
+            timeout._processed = False
+            timeout._defused = False
+            # _triggered/_ok stay True; the callback list was cleared when
+            # the object was pooled.
+            self._sequence = seq = self._sequence + 1
+            if delay == 0.0:
+                timeout._seq = seq
+                self._immediate.append(timeout)
+            else:
+                heapq.heappush(self._queue, (self._now + delay, PRIORITY_NORMAL,
+                                             seq, timeout))
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
@@ -81,18 +161,68 @@ class Simulator:
         """Event that triggers when any of ``events`` has succeeded."""
         return AnyOf(self, events)
 
+    def _fresh_event(self) -> Event:
+        """A kernel-owned (recyclable) event for grants/bootstraps/relays."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = None
+            event._ok = True
+            event._triggered = False
+            event._processed = False
+            event._defused = False
+            return event
+        event = Event(self)
+        event._pool_ok = True
+        return event
+
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
+        self._sequence = seq = self._sequence + 1
+        if delay == 0.0 and priority == PRIORITY_NORMAL and self.fast_path:
+            event._seq = seq
+            self._immediate.append(event)
+        else:
+            heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
+        if self._immediate:
+            return self._now
         if not self._queue:
             return float("inf")
         return self._queue[0][0]
+
+    def _next_event(self) -> Event:
+        """Pop the next event in (time, priority, sequence) order."""
+        immediate = self._immediate
+        queue = self._queue
+        if immediate:
+            if queue:
+                entry = queue[0]
+                # The 3-tuple on the right is always decisive before the
+                # comparison could reach entry[3] (sequence numbers are
+                # unique), so the event object is never compared.
+                if entry < (self._now, PRIORITY_NORMAL, immediate[0]._seq):
+                    heapq.heappop(queue)
+                    self._now = entry[0]
+                    return entry[3]
+            return immediate.popleft()
+        if not queue:
+            raise EmptySchedule()
+        event_time, _priority, _seq, event = heapq.heappop(queue)
+        self._now = event_time
+        return event
+
+    def _maybe_recycle(self, event: Event) -> None:
+        if event.__class__ is Timeout:
+            if event._ok and len(self._timeout_pool) < _POOL_LIMIT:
+                self._timeout_pool.append(event)
+        elif event._pool_ok and event._ok:
+            if len(self._event_pool) < _POOL_LIMIT:
+                self._event_pool.append(event)
 
     def step(self) -> None:
         """Process the single next event.
@@ -102,11 +232,28 @@ class Simulator:
         EmptySchedule
             If no events remain.
         """
-        if not self._queue:
-            raise EmptySchedule()
-        event_time, _priority, _seq, event = heapq.heappop(self._queue)
-        self._now = event_time
-        event._run_callbacks()
+        if not self.fast_path:
+            self._step_legacy()
+            return
+        self._dispatch_checked(self._next_event())
+
+    def _dispatch_checked(self, event: Event) -> None:
+        """Dispatch with the pooling-safety audit (see :meth:`_run_fast`)."""
+        if not self.fast_path:
+            event._run_callbacks()
+            return
+        event._processed = True
+        callbacks = event.callbacks
+        recyclable = True
+        for callback in callbacks:
+            if type(callback) is not MethodType or callback.__func__ is not _PROCESS_RESUME:
+                recyclable = False
+            callback(event)
+        callbacks.clear()
+        if not event._ok and not event._defused:
+            raise event._value
+        if recyclable and callbacks.__len__() == 0:
+            self._maybe_recycle(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -131,17 +278,127 @@ class Simulator:
                 raise SimulationError(
                     f"run(until={stop_time}) is in the past (now={self._now})")
 
+        if self.fast_path:
+            return self._run_fast(stop_event, stop_time)
+        return self._run_legacy(stop_event, stop_time)
+
+    def _step_legacy(self) -> None:
+        """The pre-refactor ``step()``: heap pop + callback swap, verbatim."""
+        if not self._queue:
+            raise EmptySchedule()
+        event_time, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = event_time
+        event._run_callbacks()
+
+    def _run_legacy(self, stop_event: Optional[Event],
+                    stop_time: Optional[float]) -> Any:
+        """The pre-refactor run loop, kept verbatim so ``fast_path=False``
+        is a faithful baseline for the kernel microbenchmark."""
         while self._queue:
             if stop_event is not None and stop_event.processed:
                 return stop_event.value
             if stop_time is not None and self.peek() > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            self._step_legacy()
+        return self._finish(stop_event, stop_time)
 
+    def _run_fast(self, stop_event: Optional[Event],
+                  stop_time: Optional[float]) -> Any:
+        """Inlined fast-path loop: deque-first pop, in-place callback run,
+        object recycling -- identical event order to :meth:`_run_legacy`.
+
+        Per-event overhead is kept minimal: the stop-event test runs *after*
+        each dispatch (equivalent to the legacy top-of-loop test, since the
+        event only flips to processed inside a dispatch), and the stop-time
+        test runs only when the clock would advance (heap pops) -- immediate
+        events never move the clock.  A heap entry can only preempt the
+        deque when its time has already been reached, so the common case
+        costs one float comparison.
+        """
+        queue = self._queue
+        immediate = self._immediate
+        heappop = heapq.heappop
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        event_cls = Event
+        timeout_cls = Timeout
+        method_type = MethodType
+        resume = _PROCESS_RESUME
+        if stop_event is not None and stop_event._processed:
+            return stop_event._value
+        while True:
+            # -- pop next (deque vs heap, ordered by (time, prio, seq)) ----
+            if immediate:
+                event = None
+                if queue:
+                    entry = queue[0]
+                    # Invariant: self._now <= stop_time whenever stop_time is
+                    # set, so a same-time heap entry needs no stop check.
+                    if entry[0] <= self._now and \
+                            entry < (self._now, PRIORITY_NORMAL, immediate[0]._seq):
+                        heappop(queue)
+                        event = entry[3]
+                if event is None:
+                    event = immediate.popleft()
+            elif queue:
+                entry = queue[0]
+                if stop_time is not None and entry[0] > stop_time:
+                    self._now = stop_time
+                    return None
+                heappop(queue)
+                self._now = entry[0]
+                event = entry[3]
+            else:
+                break
+            # -- dispatch (inline _dispatch_checked) -----------------------
+            event._processed = True
+            callbacks = event.callbacks
+            if len(callbacks) == 1:
+                # The overwhelmingly common case: one process resumption.
+                callback = callbacks[0]
+                callback(event)
+                callbacks.clear()
+                if not event._ok and not event._defused:
+                    raise event._value
+                if not callbacks and type(callback) is method_type \
+                        and callback.__func__ is resume:
+                    cls = event.__class__
+                    if cls is timeout_cls:
+                        if event._ok and len(timeout_pool) < _POOL_LIMIT:
+                            timeout_pool.append(event)
+                    elif cls is event_cls and event._pool_ok and event._ok:
+                        if len(event_pool) < _POOL_LIMIT:
+                            event_pool.append(event)
+            elif callbacks:
+                recyclable = True
+                for callback in callbacks:
+                    if type(callback) is not method_type or callback.__func__ is not resume:
+                        recyclable = False
+                    callback(event)
+                callbacks.clear()
+                if not event._ok and not event._defused:
+                    raise event._value
+                if recyclable and not callbacks:
+                    cls = event.__class__
+                    if cls is timeout_cls:
+                        if event._ok and len(timeout_pool) < _POOL_LIMIT:
+                            timeout_pool.append(event)
+                    elif cls is event_cls and event._pool_ok and event._ok:
+                        if len(event_pool) < _POOL_LIMIT:
+                            event_pool.append(event)
+            elif not event._ok and not event._defused:
+                raise event._value
+            if stop_event is not None and stop_event._processed:
+                return stop_event._value
+        return self._finish(stop_event, stop_time)
+
+    def _finish(self, stop_event: Optional[Event],
+                stop_time: Optional[float]) -> Any:
+        """Common run() epilogue once the schedule has drained."""
         if stop_event is not None:
-            if stop_event.processed:
-                return stop_event.value
+            if stop_event._processed:
+                return stop_event._value
             raise SimulationError(
                 "run() ran out of events before the 'until' event triggered")
         if stop_time is not None:
@@ -154,7 +411,7 @@ class Simulator:
         ``max_events`` acts as a safety valve against runaway simulations.
         """
         processed = 0
-        while self._queue:
+        while self._queue or self._immediate:
             if max_events is not None and processed >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
             self.step()

@@ -6,14 +6,31 @@ event starts *untriggered*; calling :meth:`Event.succeed` (or
 simulator pops it the event becomes *processed* and all registered callbacks
 run.  A :class:`Process` wraps a Python generator: the generator yields
 events, and the process resumes each time the yielded event is processed.
+
+Object pooling (fast-path kernel)
+---------------------------------
+With ``Simulator(fast_path=True)`` the kernel recycles kernel-created
+:class:`Timeout` and grant :class:`Event` objects whose only consumers were
+the processes that yielded them.  The discipline this imposes on user code:
+an event obtained from ``sim.timeout(...)`` or ``resource.request()`` must
+not be inspected (``.value``, ``.processed``) after the process that yielded
+it has resumed past a *different* event.  Yielding inline -- by far the
+common pattern -- is always safe, as is passing such events to
+``AllOf``/``AnyOf`` (condition-held events are never recycled).
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
+
+#: Priority used for ordinary events (re-exported by repro.sim.engine).
+PRIORITY_NORMAL = 1
+#: Priority used for "urgent" bookkeeping events processed before normal ones.
+PRIORITY_URGENT = 0
 
 
 class SimulationError(Exception):
@@ -41,7 +58,8 @@ class Event:
         The owning :class:`~repro.sim.engine.Simulator`.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed",
+                 "_defused", "_pool_ok", "_seq")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -51,6 +69,11 @@ class Event:
         self._triggered: bool = False
         self._processed: bool = False
         self._defused: bool = False
+        #: Set only by the kernel for events it created itself (bootstrap,
+        #: resource grants); such events may be recycled after processing.
+        self._pool_ok: bool = False
+        #: Scheduling sequence number (set when queued on the immediate deque).
+        self._seq: int = 0
 
     # -- state inspection -------------------------------------------------
     @property
@@ -81,7 +104,16 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay)
+        # Zero-delay success is the kernel's hottest operation (resource
+        # grants, token grants, relays); schedule it inline on the fast
+        # path.  The legacy kernel keeps the pre-refactor _schedule chain.
+        sim = self.sim
+        if delay == 0.0 and sim.fast_path:
+            sim._sequence = seq = sim._sequence + 1
+            self._seq = seq
+            sim._immediate.append(self)
+        else:
+            sim._schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -138,7 +170,7 @@ class Process(Event):
     exception).  Other processes can therefore ``yield`` a process to join it.
     """
 
-    __slots__ = ("generator", "_waiting_on")
+    __slots__ = ("generator", "_waiting_on", "_resume_bound")
 
     def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any]):
         super().__init__(sim)
@@ -146,9 +178,12 @@ class Process(Event):
             raise TypeError(f"process() requires a generator, got {generator!r}")
         self.generator = generator
         self._waiting_on: Optional[Event] = None
+        # One bound method reused for every wait this process ever registers
+        # (a fresh ``self._resume`` would allocate per yield).
+        self._resume_bound = self._resume
         # Kick off the process at the current simulation time.
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
+        bootstrap = sim._fresh_event()
+        bootstrap.callbacks.append(self._resume_bound)
         bootstrap.succeed()
 
     @property
@@ -167,7 +202,7 @@ class Process(Event):
         waiting_on = self._waiting_on
         if waiting_on is not None:
             try:
-                waiting_on.callbacks.remove(self._resume)
+                waiting_on.callbacks.remove(self._resume_bound)
             except ValueError:  # pragma: no cover - defensive
                 pass
             self._waiting_on = None
@@ -182,12 +217,43 @@ class Process(Event):
         return callback
 
     def _resume(self, event: Event) -> None:
+        # The kernel's hottest callback: on the fast path this is an inline
+        # of _step(send/throw) minus two frames.  Keep the inline in sync --
+        # _step stays the reference implementation (and the legacy kernel's
+        # frame-for-frame pre-refactor resumption path).
+        sim = self.sim
+        if not sim.fast_path:
+            self._waiting_on = None
+            if event.ok:
+                self._step(send=event.value)
+            else:
+                event.defuse()
+                self._step(throw=event.value)
+            return
         self._waiting_on = None
-        if event.ok:
-            self._step(send=event.value)
-        else:
-            event.defuse()
-            self._step(throw=event.value)
+        if self._triggered:
+            return
+        sim._active_process = self
+        try:
+            if event._ok:
+                target = self.generator.send(event._value)
+            else:
+                event._defused = True
+                target = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate through the event
+            self.fail(exc)
+            return
+        finally:
+            sim._active_process = None
+        # Inline of _wait_on's hot branch (pending event): one frame less.
+        if isinstance(target, Event) and not target._processed:
+            self._waiting_on = target
+            target.callbacks.append(self._resume_bound)
+            return
+        self._wait_on(target)
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
         if self._triggered:
@@ -206,25 +272,44 @@ class Process(Event):
             return
         finally:
             self.sim._active_process = None
+        self._wait_on(target)
 
+    def _wait_on(self, target: Any) -> None:
+        """Register the process on the event its generator just yielded."""
+        if isinstance(target, Event) and not target._processed:
+            self._waiting_on = target
+            target.callbacks.append(self._resume_bound)
+            return
         if not isinstance(target, Event):
             self._step(throw=SimulationError(
                 f"process yielded a non-event value: {target!r}"))
             return
-        if target.processed:
-            # The event already ran its callbacks; resume immediately with
-            # its value on the next simulator step.
-            relay = Event(self.sim)
-            relay.callbacks.append(self._resume)
-            if target.ok:
-                relay.succeed(target.value)
-            else:
-                target.defuse()
-                relay.fail(target.value)
-                relay.defuse()
-            return
-        self._waiting_on = target
-        target.callbacks.append(self._resume)
+        # The event already ran its callbacks; resume immediately with
+        # its value on the next simulator step.
+        relay = self.sim._fresh_event()
+        relay.callbacks.append(self._resume_bound)
+        if target.ok:
+            relay.succeed(target.value)
+        else:
+            target.defuse()
+            relay.fail(target.value)
+            relay.defuse()
+
+
+class ConditionValue(dict):
+    """The result mapping (event -> value) an :class:`AllOf`/:class:`AnyOf`
+    succeeds with.
+
+    A plain ``dict`` subclass: values are snapshotted when the condition
+    triggers (so later recycling of constituent events cannot corrupt them)
+    while keeping the familiar mapping protocol for callers.
+    """
+
+    __slots__ = ()
+
+    def todict(self) -> dict["Event", Any]:
+        """A plain-``dict`` copy of the results."""
+        return dict(self)
 
 
 class _Condition(Event):
@@ -238,10 +323,15 @@ class _Condition(Event):
         for event in self.events:
             if not isinstance(event, Event):
                 raise TypeError(f"condition requires events, got {event!r}")
-        unprocessed = [event for event in self.events if not event.processed]
-        self._pending = len(unprocessed)
-        for event in unprocessed:
-            event.callbacks.append(self._observe)
+        # One bound-method object is shared by every child subscription, so a
+        # wide fan-in does not allocate a callback per child.
+        observe = self._observe
+        pending = 0
+        for event in self.events:
+            if not event._processed:
+                pending += 1
+                event.callbacks.append(observe)
+        self._pending = pending
         self._check_initial()
 
     def _check_initial(self) -> None:
@@ -250,8 +340,12 @@ class _Condition(Event):
     def _observe(self, event: Event) -> None:
         raise NotImplementedError
 
-    def _collect_values(self) -> dict[Event, Any]:
-        return {event: event.value for event in self.events if event.processed and event.ok}
+    def _collect_values(self) -> ConditionValue:
+        values = ConditionValue()
+        for event in self.events:
+            if event._processed and event._ok:
+                values[event] = event._value
+        return values
 
 
 class AllOf(_Condition):

@@ -16,7 +16,7 @@ import math
 from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import PRIORITY_NORMAL, Event  # noqa: F401 (re-export)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -44,11 +44,42 @@ class Resource:
         return len(self._waiters)
 
     def request(self) -> Event:
-        """Return an event that succeeds once a slot is acquired."""
-        event = Event(self.sim)
+        """Return an event that succeeds once a slot is acquired.
+
+        The event is kernel-owned (recyclable): yield it inline and do not
+        inspect it after resuming -- see the pooling note in
+        :mod:`repro.sim.events`.
+        """
+        sim = self.sim
+        if not sim.fast_path:
+            # Pre-refactor path, frame for frame (the microbenchmark baseline).
+            event = Event(sim)
+            if self._users < self.capacity:
+                self._users += 1
+                event.succeed(self)
+            else:
+                self._waiters.append(event)
+            return event
+        # Fast path: pooled event + inline zero-delay grant (this pair of
+        # operations dominates device hot loops).
+        pool = sim._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = None
+            event._triggered = False
+            event._processed = False
+            event._defused = False
+            # _ok is still True: only successful events are pooled.
+        else:
+            event = Event(sim)
+            event._pool_ok = True
         if self._users < self.capacity:
             self._users += 1
-            event.succeed(self)
+            event._triggered = True
+            event._value = self
+            sim._sequence = seq = sim._sequence + 1
+            event._seq = seq
+            sim._immediate.append(event)
         else:
             self._waiters.append(event)
         return event
@@ -60,7 +91,16 @@ class Resource:
         if self._waiters:
             # Hand the slot directly to the next waiter; _users stays the same.
             waiter = self._waiters.popleft()
-            waiter.succeed(self)
+            sim = self.sim
+            if sim.fast_path:
+                # Inline zero-delay succeed (waiters are always untriggered).
+                waiter._triggered = True
+                waiter._value = self
+                sim._sequence = seq = sim._sequence + 1
+                waiter._seq = seq
+                sim._immediate.append(waiter)
+            else:
+                waiter.succeed(self)
         else:
             self._users -= 1
 
@@ -192,7 +232,7 @@ class TokenBucket:
         """Return an event that succeeds once ``amount`` tokens are granted."""
         if amount < 0:
             raise ValueError(f"amount must be non-negative, got {amount}")
-        event = Event(self.sim)
+        event = self.sim._fresh_event()
         if amount == 0:
             event.succeed(None)
             return event

@@ -82,11 +82,18 @@ class SsdDevice(BlockDevice):
 
     # -- request service ------------------------------------------------------------
     def _serve(self, request: IORequest):
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.enter(request, "queue")  # waiting for a controller context
         yield self._controller.request()
+        if tracer is not None:
+            tracer.enter(request, "service")  # command decode + host DMA
         try:
             yield self.sim.timeout(self._host_overhead(request))
         finally:
             self._controller.release()
+        if tracer is not None:
+            tracer.enter(request, "media")  # FTL, write buffer, flash
         if request.kind is IOKind.READ:
             yield from self._serve_read(request)
         elif request.kind is IOKind.WRITE:

@@ -2,24 +2,26 @@
 
 A :class:`FioJob` describes what FIO would be told on the command line:
 pattern, block size, queue depth, and a stop condition (I/O count, bytes, or
-runtime).  :func:`run_job` executes the job against any
-:class:`repro.host.BlockDevice` with ``queue_depth`` closed-loop workers
-(the behaviour of FIO's asynchronous engines) and returns a
+runtime).  :func:`run_job` executes the job against any object satisfying
+the :class:`repro.devices.Device` protocol with ``queue_depth`` closed-loop
+workers (the behaviour of FIO's asynchronous engines) and returns a
 :class:`JobResult` with latency and throughput measurements.
+:func:`run_streams` runs several (device, job) streams concurrently in one
+simulation -- the building block for noisy-neighbor and mixed-fleet cells.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.host.device import BlockDevice
-from repro.host.io import IOKind, KiB
+from repro.host.io import IOKind, IORequest, KiB
 from repro.metrics.latency import LatencyRecorder, LatencySummary
 from repro.metrics.throughput import ThroughputTimeline
 from repro.workload.patterns import AccessPattern, make_pattern
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devices.protocol import Device
     from repro.sim import Simulator
 
 
@@ -138,7 +140,7 @@ class JobResult:
         return self.latency.summary()
 
 
-def _build_pattern(job: FioJob, device: BlockDevice) -> AccessPattern:
+def _build_pattern(job: FioJob, device: "Device") -> AccessPattern:
     region = job.region_bytes if job.region_bytes is not None \
         else device.capacity_bytes - job.region_offset
     return make_pattern(job.pattern, region, job.io_size,
@@ -147,7 +149,7 @@ def _build_pattern(job: FioJob, device: BlockDevice) -> AccessPattern:
                         **dict(job.pattern_params))
 
 
-def run_job(sim: "Simulator", device: BlockDevice, job: FioJob,
+def run_job(sim: "Simulator", device: "Device", job: FioJob,
             run: bool = True) -> JobResult:
     """Execute ``job`` against ``device``.
 
@@ -189,9 +191,8 @@ def run_job(sim: "Simulator", device: BlockDevice, job: FioJob,
                     break
             state["issued"] += 1
             kind, offset = pattern.next()
-            event = device.read(offset, job.io_size) if kind is IOKind.READ \
-                else device.write(offset, job.io_size)
-            request = yield event
+            request = yield device.submit(
+                IORequest(kind, offset, job.io_size, tag=job.name))
             if state["ramp_remaining"] > 0:
                 state["ramp_remaining"] -= 1
             else:
@@ -223,11 +224,22 @@ def run_job(sim: "Simulator", device: BlockDevice, job: FioJob,
     return result
 
 
-def run_jobs(sim: "Simulator", device: BlockDevice, jobs: list[FioJob]) -> list[JobResult]:
-    """Run several jobs concurrently against one device and wait for all."""
-    results = [run_job(sim, device, job, run=False) for job in jobs]
+def run_streams(sim: "Simulator",
+                streams: Sequence[tuple["Device", FioJob]]) -> list[JobResult]:
+    """Run several (device, job) streams concurrently and wait for all.
+
+    The streams share one simulation, so jobs naming the same device contend
+    for it (noisy neighbor) and jobs on different devices form a mixed fleet
+    measured under one clock.
+    """
+    results = [run_job(sim, device, job, run=False) for device, job in streams]
     sim.run()
     for result in results:
         if result.finished_us <= result.started_us:
             result.finished_us = sim.now
     return results
+
+
+def run_jobs(sim: "Simulator", device: "Device", jobs: list[FioJob]) -> list[JobResult]:
+    """Run several jobs concurrently against one device and wait for all."""
+    return run_streams(sim, [(device, job) for job in jobs])
