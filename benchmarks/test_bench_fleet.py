@@ -1,0 +1,107 @@
+"""Fleet-simulation benchmark: shard-scaling throughput and determinism.
+
+Runs the registered ``fleet-smoke`` topology (64+ mixed SSD/ESSD devices,
+four tenants, one 2-way replication edge) through the cluster layer at 1,
+2, and 4 shards:
+
+* ``shards=1`` is the in-process serial reference path;
+* ``shards=2/4`` run each shard in a dedicated worker process behind the
+  conservative epoch barrier.
+
+The hard gate is **bit-identical fleet metrics across every layout** --
+the property that makes sharding safe to use at all.  Wall-clock speedup
+and scaling efficiency are *recorded* in ``BENCH_fleet.json`` (with the
+host's CPU count for context) rather than gated hard: a single-core CI
+machine cannot speed up, it can only stay within the overhead floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cluster import FleetCoordinator, FleetTopology
+from repro.experiments.scenarios import get_scenario
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = _REPO_ROOT / "BENCH_fleet.json"
+
+#: Sharded runs must stay within this slowdown factor of the serial path
+#: even on a single-core machine (catches pathological barrier overhead).
+MIN_SPEEDUP = 0.15
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _strip_runtime(payload: dict) -> dict:
+    return {key: value for key, value in payload.items() if key != "runtime"}
+
+
+def _run(topology: FleetTopology, shards: int) -> tuple[dict, float]:
+    coordinator = FleetCoordinator(shards=shards, processes=shards > 1)
+    started = time.perf_counter()
+    payload = coordinator.run(topology)
+    return payload, time.perf_counter() - started
+
+
+def test_fleet_shard_scaling_and_artifact():
+    cell = get_scenario("fleet-smoke").cells()[0]
+    topology = FleetTopology.from_json(cell.fleet)
+    assert topology.total_devices >= 64
+
+    runs = {}
+    for shards in SHARD_COUNTS:
+        payload, wall_s = _run(topology, shards)
+        runs[shards] = {
+            "payload": payload,
+            "wall_s": wall_s,
+            "events": payload["runtime"]["scheduled_events"],
+            "epochs": payload["runtime"]["epochs"],
+        }
+
+    # Hard gate: every shard layout produces byte-identical fleet metrics.
+    reference = json.dumps(_strip_runtime(runs[1]["payload"]), sort_keys=True)
+    for shards in SHARD_COUNTS[1:]:
+        assert json.dumps(_strip_runtime(runs[shards]["payload"]),
+                          sort_keys=True) == reference, \
+            f"shards={shards} diverged from the serial reference"
+
+    serial_wall = runs[1]["wall_s"]
+    payload = {
+        "benchmark": "fleet",
+        "topology": {
+            "name": topology.name,
+            "devices": topology.total_devices,
+            "groups": len(topology.groups),
+            "tenants": len(topology.tenants),
+            "edges": len(topology.edges),
+            "epoch_us": topology.epoch_us,
+        },
+        "cpu_count": os.cpu_count(),
+        "fleet_ios": runs[1]["payload"]["fleet"]["ios_completed"],
+        "replica_writes": runs[1]["payload"]["fleet"]["replica_writes"],
+        "shards": {},
+    }
+    for shards in SHARD_COUNTS:
+        run = runs[shards]
+        speedup = serial_wall / run["wall_s"] if run["wall_s"] > 0 else 0.0
+        payload["shards"][str(shards)] = {
+            "wall_s": round(run["wall_s"], 4),
+            "events": run["events"],
+            "events_per_sec": round(run["events"] / run["wall_s"])
+            if run["wall_s"] > 0 else 0,
+            "epochs": run["epochs"],
+            "speedup_vs_serial": round(speedup, 3),
+            "scaling_efficiency": round(speedup / shards, 3),
+        }
+    payload["headline_speedup"] = payload["shards"]["4"]["speedup_vs_serial"]
+
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nfleet shard-scaling benchmark -> {ARTIFACT.name}")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    for shards in SHARD_COUNTS[1:]:
+        assert payload["shards"][str(shards)]["speedup_vs_serial"] \
+            >= MIN_SPEEDUP, payload

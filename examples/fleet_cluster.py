@@ -1,0 +1,117 @@
+"""Fleet simulation: declare a topology, run it sharded, read the metrics.
+
+Run with::
+
+    PYTHONPATH=src python examples/fleet_cluster.py
+
+The cluster layer (``repro.cluster``) simulates *fleets* -- hundreds of
+devices -- by partitioning a declarative topology across shard simulators
+that run in separate worker processes and synchronize through a
+conservative epoch barrier.  Results are bit-identical at any shard count.
+
+Topology schema
+---------------
+A :class:`~repro.cluster.FleetTopology` is built from three elements (or
+loaded from JSON via ``FleetTopology.from_json``; see ``to_payload()`` for
+the exact wire format):
+
+``group(name, device, count, capacity_bytes=None, device_params=None,
+preload=True)``
+    ``count`` instances of a registered device family (``"SSD"``,
+    ``"ESSD-1"``, ``"ESSD-2"``, ``"LOOP"``).  ``device_params`` override
+    profile fields (e.g. ``{"replication_factor": 2}``).
+
+``tenant(name, group, **workload)``
+    One workload bound to *every* device of the group.  Plain fields make
+    a closed-loop FIO job (``pattern``, ``io_size``, ``queue_depth``,
+    ``io_count``, ...).  Passing ``trace="bursty" | "diurnal" |
+    "uniform"`` instead replays a synthesized open-loop arrival process
+    (remaining fields go to the trace generator: ``duration_us``,
+    ``mean_load_gbps``, ``burst_factor``, ...).  Every (tenant, device)
+    pair derives its own deterministic seed.
+
+``edge(source, target, replication_factor=1)``
+    Asynchronous cross-group mirroring: each completed tenant write on
+    source device ``i`` fans out to ``replication_factor`` devices of the
+    target group.  Deliveries are quantized to the topology's
+    ``epoch_us`` window, which is also the shard synchronization barrier.
+
+CLI
+---
+Registered fleet scenarios (see ``python -m repro.experiments list``, tag
+``fleet``) run through the same machinery::
+
+    python -m repro.experiments fleet fleet-smoke                 # serial
+    python -m repro.experiments fleet fleet-smoke --shards 4      # sharded
+    python -m repro.experiments fleet datacenter-diurnal --quick
+    python -m repro.experiments fleet fleet-smoke --shards 4 --out report.json
+
+``--shards 1`` *is* the serial path; any ``--shards N`` produces the same
+fleet metrics (only the ``runtime`` section -- wall clock, events/sec,
+partition -- differs).
+"""
+
+from repro.cluster import (
+    FleetCoordinator,
+    edge,
+    fleet,
+    group,
+    run_fleet_serial,
+    tenant,
+)
+from repro.host.io import KiB, MiB
+
+
+def build_topology():
+    """A small mixed fleet: a web tier, a replicated database, bulk ingest."""
+    return fleet(
+        "example-fleet",
+        groups=[
+            group("web", "SSD", 8, capacity_bytes=32 * MiB),
+            group("db", "SSD", 4, capacity_bytes=32 * MiB),
+            group("db-mirror", "SSD", 4, capacity_bytes=32 * MiB),
+            group("bulk", "ESSD-2", 4, capacity_bytes=64 * MiB),
+        ],
+        tenants=[
+            tenant("frontend", "web", pattern="randread", io_size=4 * KiB,
+                   queue_depth=2, io_count=50),
+            tenant("oltp", "db", pattern="randwrite", io_size=16 * KiB,
+                   queue_depth=4, io_count=50),
+            tenant("ingest", "bulk", trace="bursty", duration_us=50_000.0,
+                   mean_load_gbps=0.3, io_size=64 * KiB),
+        ],
+        edges=[edge("db", "db-mirror", replication_factor=2)],
+        epoch_us=1000.0,
+        seed=42,
+    )
+
+
+def main() -> None:
+    topology = build_topology()
+    print(f"fleet {topology.name!r}: {topology.total_devices} devices, "
+          f"{len(topology.tenants)} tenants, {len(topology.edges)} edges")
+
+    serial = run_fleet_serial(topology)
+    sharded = FleetCoordinator(shards=4).run(topology)
+
+    for label, result in (("serial", serial), ("4 shards", sharded)):
+        runtime = result["runtime"]
+        print(f"\n[{label}] {runtime['epochs']} epochs, "
+              f"{runtime['wall_s']:.2f}s, {runtime['events_per_sec']:.0f} ev/s")
+        for name, metrics in sorted(result["tenants"].items()):
+            print(f"  {name:10s} {metrics['ios_completed']:5d} ios  "
+                  f"mean {metrics['mean_us']:7.1f}us  "
+                  f"p99.9 {metrics['p999_us']:7.1f}us  "
+                  f"{metrics['throughput_gbps']:.3f} GB/s")
+        mirror = result["groups"]["db-mirror"]
+        print(f"  db-mirror absorbed {mirror['replica_writes']} replica "
+              f"writes ({mirror['replica_bytes'] >> 10} KiB)")
+
+    identical = all(
+        serial[section] == sharded[section]
+        for section in ("fleet", "tenants", "groups"))
+    print(f"\nserial == sharded metrics: {identical}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Sharded fleet simulation: cluster-scale topologies on shard runners.
+
+Layer 5 of the stack (kernel -> devices -> workloads -> sweeps -> cluster):
+
+* :mod:`repro.cluster.topology` -- declarative fleet descriptions
+  (:class:`FleetTopology`: device groups x tenants x replication edges).
+* :mod:`repro.cluster.shard` -- :class:`ShardWorker`, one simulator owning
+  a slice of the fleet, advancing in bounded time epochs.
+* :mod:`repro.cluster.coordinator` -- :class:`FleetCoordinator`:
+  device-affinity partitioning, dedicated worker processes per shard, and
+  the conservative epoch barrier for cross-shard replica messages.
+  ``shards=1`` is the serial path; every layout is bit-identical.
+* :mod:`repro.cluster.metrics` -- per-tenant / per-group / fleet-wide
+  metric merges from the per-shard payloads.
+
+The sweep layer runs fleets through ``CellSpec.fleet``; the CLI exposes
+``python -m repro.experiments fleet <scenario> [--shards N]``.
+"""
+
+from repro.cluster.coordinator import (
+    FleetCoordinator,
+    partition_topology,
+    run_fleet_serial,
+)
+from repro.cluster.metrics import fleet_headline, merge_shard_payloads
+from repro.cluster.shard import ReplicaMessage, ShardPlan, ShardWorker
+from repro.cluster.topology import (
+    DeviceGroup,
+    FleetTopology,
+    ReplicationEdge,
+    Tenant,
+    edge,
+    fleet,
+    group,
+    tenant,
+)
+
+__all__ = [
+    "FleetTopology",
+    "DeviceGroup",
+    "Tenant",
+    "ReplicationEdge",
+    "fleet",
+    "group",
+    "tenant",
+    "edge",
+    "ShardPlan",
+    "ShardWorker",
+    "ReplicaMessage",
+    "FleetCoordinator",
+    "partition_topology",
+    "run_fleet_serial",
+    "merge_shard_payloads",
+    "fleet_headline",
+]

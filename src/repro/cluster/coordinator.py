@@ -1,0 +1,295 @@
+"""Partition a fleet topology into shards and drive them over epochs.
+
+Partitioning (:func:`partition_topology`) is **device-affinity** based:
+replication edges connect groups into clusters (union-find), whole clusters
+are placed onto the least-loaded shard first (so edges stay intra-shard
+whenever the cluster count allows), and only when shards would otherwise
+sit empty is a shard's device list split at device granularity.
+
+Execution (:class:`FleetCoordinator`) is a conservative time-window loop:
+
+1. every shard advances to the same epoch barrier, buffering the replica
+   messages its tenants emitted;
+2. the coordinator routes each message to the shard owning its target
+   device (messages are quantized to the *next* epoch boundary, so a
+   message collected at barrier ``B`` is never scheduled before ``B``);
+3. inboxes are sorted by the layout-independent key ``(delivery_us,
+   origin_index, origin_seq)`` and injected before the next epoch.
+
+Because seeds, replica delivery times, and injection order all derive from
+logical identities (never from the shard layout), ``shards=1`` is
+bit-identical to any ``shards=N`` run -- and ``shards=1`` in-process *is*
+the serial path.  Topologies without replication edges skip the barrier
+loop entirely: each shard drains to completion in a single advance.
+
+Process mode reuses the ``SweepRunner`` patterns (persistent
+``ProcessPoolExecutor``, derived seeds), with one twist: each shard gets a
+*dedicated single-worker* executor so the worker process keeps the shard's
+simulator resident between epoch tasks (plain shared pools give no
+task-to-process affinity).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Optional, Sequence
+
+from repro.cluster.metrics import merge_shard_payloads
+from repro.cluster.shard import (
+    ReplicaMessage,
+    ShardPlan,
+    ShardWorker,
+    _worker_advance,
+    _worker_collect,
+    _worker_init,
+)
+from repro.cluster.topology import FleetTopology
+
+__all__ = ["partition_topology", "FleetCoordinator", "run_fleet_serial"]
+
+#: Safety bound on executed (non-skipped) epochs per run.
+MAX_EPOCHS = 200_000
+
+
+def _inbox_order(message: ReplicaMessage) -> tuple:
+    """Injection order for same-barrier messages: the documented
+    layout-independent identity key (see :class:`ReplicaMessage`)."""
+    return (message.delivery_us, message.origin_index, message.origin_seq)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+
+def partition_topology(topology: FleetTopology, shards: int) -> list[ShardPlan]:
+    """Split the fleet's devices into ``shards`` device-affinity slices."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    shards = min(shards, topology.total_devices)
+    group_names = [group.name for group in topology.groups]
+    position = {name: index for index, name in enumerate(group_names)}
+
+    # Union-find over groups: replication edges glue groups into clusters.
+    parent = {name: name for name in group_names}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    for edge in topology.edges:
+        root_a, root_b = find(edge.source), find(edge.target)
+        if root_a != root_b:
+            # Deterministic union: the earlier-declared group wins.
+            if position[root_a] > position[root_b]:
+                root_a, root_b = root_b, root_a
+            parent[root_b] = root_a
+
+    clusters: dict[str, list[str]] = {}
+    for name in group_names:
+        clusters.setdefault(find(name), []).append(name)
+
+    sizes = {root: sum(topology.group(name).count for name in members)
+             for root, members in clusters.items()}
+    # Largest clusters first; ties resolved by declaration order.
+    order = sorted(clusters, key=lambda root: (-sizes[root], position[root]))
+
+    assignments: list[list[int]] = [[] for _ in range(shards)]
+    for root in order:
+        target = min(range(shards), key=lambda sid: (len(assignments[sid]), sid))
+        for name in clusters[root]:
+            assignments[target].extend(topology.group_indices(name))
+
+    # Fill empty shards (more shards than clusters) by halving the heaviest
+    # slice at device granularity -- this may break an edge across shards,
+    # which the message-passing loop handles.
+    while any(not plan for plan in assignments):
+        donor = max(range(shards), key=lambda sid: (len(assignments[sid]), -sid))
+        if len(assignments[donor]) < 2:
+            break
+        empty = next(sid for sid in range(shards) if not assignments[sid])
+        keep = len(assignments[donor]) // 2
+        assignments[empty] = assignments[donor][keep:]
+        assignments[donor] = assignments[donor][:keep]
+
+    return [ShardPlan(shard_id=sid, device_indices=tuple(sorted(indices)))
+            for sid, indices in enumerate(assignments)]
+
+
+# ---------------------------------------------------------------------------
+# Shard backends: in-process and dedicated-worker-process execution
+# ---------------------------------------------------------------------------
+
+class _LocalShards:
+    """All shards as in-process objects (the serial / test path)."""
+
+    def __init__(self, topology: FleetTopology, plans: Sequence[ShardPlan]):
+        self.workers = [ShardWorker(topology, plan) for plan in plans]
+
+    def advance_all(self, until_us: Optional[float],
+                    inboxes: Sequence[list[ReplicaMessage]],
+                    ) -> list[tuple[list[ReplicaMessage], float]]:
+        return [worker.advance(until_us, inbox)
+                for worker, inbox in zip(self.workers, inboxes)]
+
+    def collect_all(self) -> list[dict[str, Any]]:
+        return [worker.collect() for worker in self.workers]
+
+    def scheduled_events(self) -> int:
+        return sum(worker.sim.scheduled_events for worker in self.workers)
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessShards:
+    """One persistent single-worker ProcessPoolExecutor per shard."""
+
+    def __init__(self, topology: FleetTopology, plans: Sequence[ShardPlan]):
+        self.pools = [ProcessPoolExecutor(max_workers=1) for _ in plans]
+        payload = topology.canonical()
+        init = [pool.submit(_worker_init, payload, plan.to_payload())
+                for pool, plan in zip(self.pools, plans)]
+        for future in init:
+            future.result()
+        self._events = 0
+
+    def advance_all(self, until_us: Optional[float],
+                    inboxes: Sequence[list[ReplicaMessage]],
+                    ) -> list[tuple[list[ReplicaMessage], float]]:
+        futures = [pool.submit(_worker_advance, until_us, inbox)
+                   for pool, inbox in zip(self.pools, inboxes)]
+        return [future.result() for future in futures]
+
+    def collect_all(self) -> list[dict[str, Any]]:
+        futures = [pool.submit(_worker_collect) for pool in self.pools]
+        payloads = [future.result() for future in futures]
+        self._events = sum(payload["scheduled_events"] for payload in payloads)
+        return payloads
+
+    def scheduled_events(self) -> int:
+        return self._events
+
+    def close(self) -> None:
+        for pool in self.pools:
+            pool.shutdown(wait=False)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+class FleetCoordinator:
+    """Runs a :class:`FleetTopology` over ``shards`` shard simulators.
+
+    Parameters
+    ----------
+    shards:
+        Number of shard simulators (clamped to the device count).
+    processes:
+        Run each shard in a dedicated worker process (default: only when
+        ``shards > 1``).  In-process execution produces byte-identical
+        payloads -- it is the same ShardWorker code -- so tests and the
+        serial path use it directly.
+    epoch_us:
+        Override the topology's conservative synchronization window.
+    """
+
+    def __init__(self, shards: int = 1, processes: Optional[bool] = None,
+                 epoch_us: Optional[float] = None,
+                 max_epochs: int = MAX_EPOCHS):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.processes = (shards > 1) if processes is None else processes
+        self.epoch_us = epoch_us
+        self.max_epochs = max_epochs
+
+    def run(self, topology: FleetTopology) -> dict[str, Any]:
+        """Execute the fleet and return the merged metrics payload.
+
+        The payload's ``fleet`` / ``tenants`` / ``groups`` sections are
+        bit-identical across shard counts and execution modes; wall-clock
+        and event-throughput data live under ``runtime``.
+        """
+        if self.epoch_us is not None:
+            topology = topology.scaled(epoch_us=self.epoch_us)
+        plans = partition_topology(topology, self.shards)
+        owner = {index: plan.shard_id for plan in plans
+                 for index in plan.device_indices}
+        started = time.perf_counter()
+        backend = _ProcessShards(topology, plans) if self.processes \
+            else _LocalShards(topology, plans)
+        epochs = 0
+        try:
+            if not topology.edges:
+                # No cross-device dependencies: each shard drains in one go.
+                backend.advance_all(None, [[] for _ in plans])
+            else:
+                epochs = self._run_epochs(topology, plans, owner, backend)
+            payloads = backend.collect_all()
+            events = backend.scheduled_events()
+        finally:
+            backend.close()
+        wall_s = time.perf_counter() - started
+        result = merge_shard_payloads(topology, payloads)
+        result["runtime"] = {
+            "shards": len(plans),
+            "mode": "processes" if self.processes else "in-process",
+            "epochs": epochs,
+            "wall_s": wall_s,
+            "scheduled_events": events,
+            "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
+            "cpu_count": os.cpu_count(),
+            "partition": [list(plan.device_indices) for plan in plans],
+        }
+        return result
+
+    def _run_epochs(self, topology: FleetTopology, plans, owner, backend) -> int:
+        """The conservative epoch-barrier loop (topologies with edges)."""
+        epoch_us = topology.epoch_us
+        inboxes: list[list[ReplicaMessage]] = [[] for _ in plans]
+        peeks = [0.0] * len(plans)
+        #: Barrier position as an *integer* epoch index.  The barrier time is
+        #: always computed as ``index * epoch_us`` -- the exact same
+        #: float-multiplication grid the replication hook quantizes delivery
+        #: times onto.  Accumulating ``barrier += epoch_us`` instead would
+        #: drift off that grid for epochs not exactly representable in
+        #: binary, leaving a collected message's delivery in the past.
+        index = 0
+        epochs = 0
+        while True:
+            if any(inboxes):
+                index += 1
+            else:
+                next_event = min(peeks)
+                if next_event == math.inf:
+                    return epochs
+                # Skip whole idle epochs: jump straight to the barrier just
+                # past the earliest pending event.  The advance window still
+                # spans at most one epoch of *activity*, so every emitted
+                # message remains deliverable at a future barrier.
+                index = max(index + 1,
+                            math.floor(next_event / epoch_us) + 1)
+            epochs += 1
+            if epochs > self.max_epochs:
+                raise RuntimeError(
+                    f"fleet {topology.name!r} exceeded {self.max_epochs} "
+                    f"epochs (epoch_us={epoch_us}); raise epoch_us or "
+                    "max_epochs")
+            handoff = [sorted(inbox, key=_inbox_order) for inbox in inboxes]
+            inboxes = [[] for _ in plans]
+            results = backend.advance_all(index * epoch_us, handoff)
+            for sid, (outbound, peek) in enumerate(results):
+                peeks[sid] = peek
+                for message in outbound:
+                    inboxes[owner[message.target_index]].append(message)
+
+
+def run_fleet_serial(topology: FleetTopology) -> dict[str, Any]:
+    """The serial reference path: the whole fleet in one in-process shard."""
+    return FleetCoordinator(shards=1, processes=False).run(topology)

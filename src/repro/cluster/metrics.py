@@ -1,0 +1,205 @@
+"""Fleet-level metric aggregation across shard payloads.
+
+:func:`merge_shard_payloads` takes the per-shard measurement payloads
+(:meth:`repro.cluster.shard.ShardWorker.collect`) and folds them into one
+fleet report with three levels of aggregation:
+
+* **per tenant** -- the tenant's traffic merged across every device it ran
+  on (latency percentiles over the pooled samples, fleet-wide IOPS and
+  throughput over the tenant's active window);
+* **per group** -- tenant traffic landing on the group's devices plus the
+  replica writes the group absorbed through replication edges;
+* **fleet-wide** -- everything, plus a binned throughput series.
+
+Merging is deterministic: device payloads are combined in global-index
+order and tenants/groups in name order, so a serial run and any sharded
+layout produce byte-identical fleet payloads (wall-clock "runtime" data is
+kept in a separate section precisely so the physics payload stays
+comparable).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.cluster.topology import FleetTopology
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.throughput import ThroughputTimeline
+
+__all__ = ["merge_shard_payloads", "fleet_headline"]
+
+#: Number of bins in the fleet throughput-over-time series.
+SERIES_BINS = 24
+
+
+def _summary_dict(recorder: LatencyRecorder) -> dict[str, float]:
+    summary = recorder.summary()
+    return {
+        "mean_us": summary.mean_us,
+        "p50_us": summary.p50_us,
+        "p99_us": summary.p99_us,
+        "p999_us": summary.p999_us,
+        "max_us": summary.max_us,
+    }
+
+
+class _Aggregate:
+    """Accumulates device payloads in a fixed, layout-independent order."""
+
+    def __init__(self) -> None:
+        self.devices = 0
+        self.ios = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.recorder = LatencyRecorder()
+        self.events: list[tuple[float, int, int]] = []  # (t, gidx, bytes)
+
+    def add(self, index: int, payload: Mapping[str, Any]) -> None:
+        self.devices += 1
+        self.ios += payload["ios_completed"]
+        self.bytes_read += payload["bytes_read"]
+        self.bytes_written += payload["bytes_written"]
+        started = payload["started_us"]
+        finished = payload["finished_us"]
+        self.started = started if self.started is None \
+            else min(self.started, started)
+        self.finished = finished if self.finished is None \
+            else max(self.finished, finished)
+        self.recorder.extend(payload["latency"])
+        self.events.extend((time_us, index, num_bytes)
+                           for time_us, num_bytes in payload["timeline"])
+
+    @property
+    def duration_us(self) -> float:
+        if self.started is None or self.finished is None:
+            return 0.0
+        return self.finished - self.started
+
+    def timeline(self) -> ThroughputTimeline:
+        timeline = ThroughputTimeline()
+        # Stable sort on (time, global index): cross-device completions at
+        # one timestamp merge in the same order under every shard layout.
+        timeline.record_many((time_us, num_bytes) for time_us, _, num_bytes
+                             in sorted(self.events, key=lambda e: (e[0], e[1])))
+        return timeline
+
+    def to_payload(self) -> dict[str, Any]:
+        duration = self.duration_us
+        total = self.bytes_read + self.bytes_written
+        payload: dict[str, Any] = {
+            "devices": self.devices,
+            "ios_completed": self.ios,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "duration_us": duration,
+            "throughput_gbps": total / duration / 1000.0 if duration > 0 else 0.0,
+            "iops": self.ios / duration * 1e6 if duration > 0 else 0.0,
+        }
+        payload.update(_summary_dict(self.recorder))
+        return payload
+
+
+def merge_shard_payloads(topology: FleetTopology,
+                         shard_payloads: Sequence[Mapping[str, Any]],
+                         ) -> dict[str, Any]:
+    """Merge per-shard measurement payloads into the fleet report."""
+    table = topology.device_table()
+
+    # tenant -> {global index -> device payload}, merged across shards.
+    per_tenant: dict[str, dict[int, Mapping[str, Any]]] = {}
+    for shard in shard_payloads:
+        for tenant_name, devices in shard["tenants"].items():
+            bucket = per_tenant.setdefault(tenant_name, {})
+            for index_str, payload in devices.items():
+                bucket[int(index_str)] = payload
+
+    tenants: dict[str, Any] = {}
+    groups: dict[str, _Aggregate] = {}
+    fleet = _Aggregate()
+    for tenant_name in sorted(per_tenant):
+        aggregate = _Aggregate()
+        for index in sorted(per_tenant[tenant_name]):
+            payload = per_tenant[tenant_name][index]
+            aggregate.add(index, payload)
+            fleet.add(index, payload)
+            group_name = table[index][0]
+            groups.setdefault(group_name, _Aggregate()).add(index, payload)
+        tenants[tenant_name] = aggregate.to_payload()
+        tenants[tenant_name]["group"] = next(
+            tenant.group for tenant in topology.tenants
+            if tenant.name == tenant_name)
+
+    # Replica traffic absorbed per target device, then pooled per group in
+    # global-index order -- a split target group merged in shard order
+    # would pool the same samples differently and break the bit-identical
+    # serial-vs-sharded invariant.
+    per_device_replicas: dict[int, dict[str, Any]] = {}
+    for shard in shard_payloads:
+        for index_str, stats in shard["replicas"].items():
+            per_device_replicas[int(index_str)] = stats
+    replicas: dict[str, dict[str, Any]] = {}
+    for index in sorted(per_device_replicas):
+        stats = per_device_replicas[index]
+        bucket = replicas.setdefault(
+            table[index][0], {"count": 0, "bytes": 0, "latency": []})
+        bucket["count"] += stats["count"]
+        bucket["bytes"] += stats["bytes"]
+        bucket["latency"].extend(stats["latency"])
+
+    group_payloads: dict[str, Any] = {}
+    for group in topology.groups:
+        aggregate = groups.get(group.name, _Aggregate())
+        payload = aggregate.to_payload()
+        payload["device_type"] = group.device
+        payload["devices"] = group.count
+        replica = replicas.get(group.name)
+        payload["replica_writes"] = replica["count"] if replica else 0
+        payload["replica_bytes"] = replica["bytes"] if replica else 0
+        if replica and replica["latency"]:
+            recorder = LatencyRecorder()
+            recorder.extend(replica["latency"])
+            payload["replica_mean_us"] = recorder.mean()
+            payload["replica_p99_us"] = recorder.percentile(99)
+        group_payloads[group.name] = payload
+
+    fleet_payload = fleet.to_payload()
+    fleet_payload["devices"] = topology.total_devices
+    fleet_payload["replica_writes"] = sum(
+        payload["replica_writes"] for payload in group_payloads.values())
+    fleet_payload["replica_bytes"] = sum(
+        payload["replica_bytes"] for payload in group_payloads.values())
+    duration = fleet.duration_us
+    if duration > 0 and fleet.events:
+        bin_us = max(1000.0, duration / SERIES_BINS)
+        samples = fleet.timeline().binned(bin_us)
+        fleet_payload["series_bin_us"] = bin_us
+        fleet_payload["series"] = [
+            [sample.bytes_completed, sample.gigabytes_per_second]
+            for sample in samples
+        ]
+
+    return {
+        "topology": {
+            "name": topology.name,
+            "devices": topology.total_devices,
+            "groups": len(topology.groups),
+            "tenants": len(topology.tenants),
+            "edges": len(topology.edges),
+            "epoch_us": topology.epoch_us,
+            "seed": topology.seed,
+        },
+        "fleet": fleet_payload,
+        "tenants": tenants,
+        "groups": group_payloads,
+    }
+
+
+def fleet_headline(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Flat headline metrics (the keys the sweep CLI tables expect)."""
+    fleet = payload["fleet"]
+    return {key: fleet[key] for key in (
+        "ios_completed", "bytes_read", "bytes_written", "duration_us",
+        "throughput_gbps", "iops", "mean_us", "p50_us", "p99_us", "p999_us",
+        "max_us")}

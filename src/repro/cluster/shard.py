@@ -1,0 +1,305 @@
+"""One shard of a fleet simulation: a Simulator owning a device slice.
+
+A :class:`ShardWorker` instantiates the devices named by its
+:class:`ShardPlan`, binds every tenant workload that targets those devices
+(closed-loop FIO jobs or open-loop trace replays, each with a seed derived
+from the tenant/device identity so the shard layout cannot change any RNG
+stream), and then advances in **bounded time epochs**:
+
+* :meth:`ShardWorker.advance` first injects the inbound replica messages
+  handed over by the coordinator (scheduling each delivery at its quantized
+  timestamp), then runs its simulator up to the epoch barrier, and returns
+  the replica messages its own tenants emitted during the window.
+* Replica deliveries are quantized to the *next* ``epoch_us`` boundary
+  after the originating write completes, so a message emitted inside epoch
+  ``k`` is always deliverable at or after the barrier ``(k+1) * epoch_us``
+  where the coordinator collects it -- the conservative-synchronization
+  invariant that lets shards run an epoch in parallel without ever sending
+  a message into another shard's past.
+
+The module-level ``_worker_*`` functions are the process-pool entry points:
+the coordinator gives each shard a dedicated single-worker
+``ProcessPoolExecutor``, so the worker process keeps the ``ShardWorker``
+(simulator, devices, half-run generators) resident in a module global
+between epoch tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, NamedTuple, Optional
+
+from repro.cluster.topology import (
+    DEFAULT_FLEET_ESSD_CAPACITY,
+    DEFAULT_FLEET_SSD_CAPACITY,
+    FleetTopology,
+    Tenant,
+)
+from repro.determinism import derive_seed
+from repro.host.io import IOKind, IORequest
+
+__all__ = ["ReplicaMessage", "ShardPlan", "ShardWorker"]
+
+
+class ReplicaMessage(NamedTuple):
+    """One cross-group replica write travelling between (or within) shards.
+
+    ``(origin_index, origin_seq)`` is a layout-independent identity: the
+    per-origin-device emission counter advances identically no matter which
+    shard the device lands on, so sorting inbound messages by
+    ``(delivery_us, origin_index, origin_seq)`` yields the same submission
+    order in every layout -- the key to bit-identical sharded runs.
+    """
+
+    delivery_us: float
+    target_index: int
+    offset: int
+    size: int
+    origin_index: int
+    origin_seq: int
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The device slice (global indices) one shard owns."""
+
+    shard_id: int
+    device_indices: tuple[int, ...]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"shard_id": self.shard_id,
+                "device_indices": list(self.device_indices)}
+
+    @classmethod
+    def from_payload(cls, payload) -> "ShardPlan":
+        return cls(shard_id=payload["shard_id"],
+                   device_indices=tuple(payload["device_indices"]))
+
+
+def _default_capacity(device_name: str) -> int:
+    return DEFAULT_FLEET_SSD_CAPACITY if device_name == "SSD" \
+        else DEFAULT_FLEET_ESSD_CAPACITY
+
+
+class ShardWorker:
+    """Owns one :class:`~repro.sim.Simulator` plus its fleet slice."""
+
+    def __init__(self, topology: FleetTopology, plan: ShardPlan):
+        from repro.devices import create_device
+        from repro.sim import Simulator
+
+        self.topology = topology
+        self.plan = plan
+        self.sim = Simulator()
+        table = topology.device_table()
+        #: global index -> device instance (construction in index order keeps
+        #: the shard deterministic).
+        self.devices: dict[int, Any] = {}
+        #: global index -> (group name, local index)
+        self._placement: dict[int, tuple[str, int]] = {}
+        self._outbound: list[ReplicaMessage] = []
+        self._origin_seq: dict[int, int] = {}
+        #: target device global index (as str) -> inbound replica stats.
+        #: Keyed per *device*, not per group: a split target group would
+        #: otherwise pool samples in shard order and break the bit-identical
+        #: merge (the fleet merge re-pools in global-index order).
+        self._replica_stats: dict[str, dict[str, Any]] = {}
+        #: (tenant name, global index, result object, byte accumulator)
+        self._runs: list[tuple[str, int, Any, Optional[dict]]] = []
+
+        for index in sorted(plan.device_indices):
+            group_name, local_index = table[index]
+            group = topology.group(group_name)
+            capacity = group.capacity_bytes or _default_capacity(group.device)
+            device = create_device(self.sim, group.device,
+                                   capacity_bytes=capacity,
+                                   name=f"{group_name}[{local_index}]",
+                                   **dict(group.device_params))
+            if group.preload:
+                device.preload()
+            self.devices[index] = device
+            self._placement[index] = (group_name, local_index)
+
+        for tenant in topology.tenants:
+            for index in topology.group_indices(tenant.group):
+                if index in self.devices:
+                    self._bind_tenant(tenant, index)
+
+    # -- workload binding --------------------------------------------------
+    def _bind_tenant(self, tenant: Tenant, index: int) -> None:
+        from repro.workload.fio import FioJob, run_job
+        from repro.workload.trace import replay_trace, synthesize_trace
+
+        device = self.devices[index]
+        group_name, local_index = self._placement[index]
+        fields = tenant.workload_dict()
+        base_seed = fields.pop("seed", self.topology.seed)
+        seed = derive_seed(base_seed, {"tenant": tenant.name,
+                                       "group": group_name,
+                                       "device": local_index})
+        replicate = self._replication_hook(group_name, local_index, index)
+
+        if tenant.is_trace:
+            family = fields.pop("trace")
+            fields.setdefault("region_bytes", device.capacity_bytes)
+            trace = synthesize_trace(family, seed=seed,
+                                     name=f"{tenant.name}@{device.name}",
+                                     **fields)
+            accumulator = {"bytes_read": 0, "bytes_written": 0}
+
+            def hook(request, now, _acc=accumulator, _rep=replicate):
+                if request.kind is IOKind.READ:
+                    _acc["bytes_read"] += request.size
+                else:
+                    _acc["bytes_written"] += request.size
+                if _rep is not None:
+                    _rep(request, now)
+
+            result = replay_trace(self.sim, device, trace, run=False,
+                                  on_complete=hook)
+            self._runs.append((tenant.name, index, result, accumulator))
+        else:
+            job = FioJob(name=tenant.name, seed=seed, **fields)
+            result = run_job(self.sim, device, job, run=False,
+                             on_complete=replicate)
+            self._runs.append((tenant.name, index, result, None))
+
+    def _replication_hook(self, group_name: str, local_index: int,
+                          origin_index: int):
+        """Per-(device) hook mirroring completed writes along out-edges."""
+        routes = []
+        for edge in self.topology.edges_from(group_name):
+            indices = self.topology.group_indices(edge.target)
+            routes.append((indices, edge.policy().replication_factor))
+        if not routes:
+            return None
+        epoch_us = self.topology.epoch_us
+
+        def hook(request, _now):
+            if request.kind is not IOKind.WRITE:
+                return
+            now = self.sim.now
+            delivery = (math.floor(now / epoch_us) + 1) * epoch_us
+            for indices, factor in routes:
+                for replica in range(factor):
+                    target = indices[(local_index + replica) % len(indices)]
+                    seq = self._origin_seq.get(origin_index, 0)
+                    self._origin_seq[origin_index] = seq + 1
+                    # Append through self: advance() drains this buffer at
+                    # every barrier, and a reference captured at bind time
+                    # would go stale.
+                    self._outbound.append(ReplicaMessage(
+                        delivery_us=delivery, target_index=target,
+                        offset=request.offset, size=request.size,
+                        origin_index=origin_index, origin_seq=seq))
+        return hook
+
+    # -- epoch stepping ----------------------------------------------------
+    def deliver(self, messages: list[ReplicaMessage]) -> None:
+        """Schedule inbound replica writes (pre-sorted by the coordinator)."""
+        for message in messages:
+            self.sim.process(self._apply(message))
+
+    def _apply(self, message: ReplicaMessage):
+        delay = message.delivery_us - self.sim.now
+        yield self.sim.timeout(delay)
+        device = self.devices[message.target_index]
+        offset = message.offset % max(device.logical_block_size,
+                                      device.capacity_bytes - message.size)
+        offset -= offset % device.logical_block_size
+        request = yield device.submit(IORequest(
+            IOKind.WRITE, offset, message.size, tag="replica"))
+        stats = self._replica_stats.setdefault(
+            str(message.target_index), {"count": 0, "bytes": 0, "latency": []})
+        stats["count"] += 1
+        stats["bytes"] += request.size
+        stats["latency"].append(float(request.latency))
+
+    def advance(self, until_us: Optional[float],
+                inbound: Optional[list[ReplicaMessage]] = None,
+                ) -> tuple[list[ReplicaMessage], float]:
+        """Deliver ``inbound``, run up to ``until_us``, return (outbound, peek).
+
+        ``until_us=None`` drains the schedule completely (the no-edges fast
+        path).  ``peek`` is the time of the next still-pending event
+        (``inf`` when the shard is idle) -- the coordinator uses the fleet
+        minimum to skip over empty epochs.
+        """
+        if inbound:
+            self.deliver(inbound)
+        self.sim.run(until=until_us)
+        outbound = list(self._outbound)
+        self._outbound.clear()
+        return outbound, self.sim.peek()
+
+    # -- collection --------------------------------------------------------
+    def collect(self) -> dict[str, Any]:
+        """Serialize the shard's measurements (JSON/pickle-safe payload)."""
+        tenants: dict[str, dict[str, Any]] = {}
+        for tenant_name, index, result, accumulator in self._runs:
+            tenants.setdefault(tenant_name, {})[str(index)] = \
+                _result_payload(result, accumulator)
+        return {
+            "shard_id": self.plan.shard_id,
+            "scheduled_events": self.sim.scheduled_events,
+            "tenants": tenants,
+            "replicas": self._replica_stats,
+        }
+
+
+def _result_payload(result, accumulator: Optional[dict]) -> dict[str, Any]:
+    """Uniform per-(tenant, device) payload for Job- and Replay-results."""
+    events = result.timeline.events()
+    if accumulator is None:  # JobResult
+        started = result.started_us
+        finished = result.finished_us
+        if finished <= started:
+            # Defensive: a job that recorded nothing keeps duration 0; never
+            # fall back to sim.now, which depends on the shard layout.
+            finished = events[-1][0] if events else started
+        bytes_read = result.bytes_read
+        bytes_written = result.bytes_written
+        ios = result.ios_completed
+    else:  # ReplayResult (open loop starts at time 0)
+        started = 0.0
+        finished = events[-1][0] if events else 0.0
+        bytes_read = accumulator["bytes_read"]
+        bytes_written = accumulator["bytes_written"]
+        ios = result.ios_completed
+    return {
+        "ios_completed": ios,
+        "bytes_read": bytes_read,
+        "bytes_written": bytes_written,
+        "started_us": started,
+        "finished_us": finished,
+        "latency": result.latency.samples.tolist(),
+        "timeline": [[time_us, num_bytes] for time_us, num_bytes in events],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Process-pool entry points (one dedicated worker process per shard)
+# ---------------------------------------------------------------------------
+
+_WORKER: Optional[ShardWorker] = None
+
+
+def _worker_init(topology_json: str, plan_payload: dict) -> int:
+    """Build the resident ShardWorker inside the dedicated worker process."""
+    global _WORKER
+    _WORKER = ShardWorker(FleetTopology.from_json(topology_json),
+                          ShardPlan.from_payload(plan_payload))
+    return _WORKER.plan.shard_id
+
+
+def _worker_advance(until_us: Optional[float],
+                    inbound: list[ReplicaMessage],
+                    ) -> tuple[list[ReplicaMessage], float]:
+    assert _WORKER is not None, "shard worker not initialised"
+    return _WORKER.advance(until_us, inbound)
+
+
+def _worker_collect() -> dict[str, Any]:
+    assert _WORKER is not None, "shard worker not initialised"
+    return _WORKER.collect()

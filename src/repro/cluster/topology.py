@@ -1,0 +1,301 @@
+"""Declarative fleet topology: device groups, tenants, replication edges.
+
+A :class:`FleetTopology` describes a cluster-scale simulation the way a
+:class:`~repro.experiments.sweep.CellSpec` describes a single-device cell:
+
+* **Device groups** -- ``count`` instances of one registered device family
+  (``"SSD"``, ``"ESSD-2"``, ...) sharing a capacity and optional
+  profile overrides (``device_params``).
+* **Tenants** -- a workload bound to every device of one group.  The
+  workload is either a closed-loop FIO job (plain
+  :class:`~repro.workload.fio.FioJob` fields) or an open-loop trace replay
+  (``{"trace": "<family>", ...}`` with knobs forwarded to
+  :func:`repro.workload.trace.synthesize_trace`).  Each (tenant, device)
+  pair derives its own deterministic seed, so results never depend on how
+  the fleet is later partitioned into shards.
+* **Replication edges** -- asynchronous cross-group mirroring reusing
+  :class:`repro.ebs.replication.ReplicationPolicy` semantics: every tenant
+  write completed on a device of ``source`` fans out to
+  ``replication_factor`` devices of ``target``.  Deliveries are quantized
+  to the topology's ``epoch_us`` boundary, which is exactly the
+  conservative synchronization window the shard runner uses -- so replica
+  timing (and therefore every metric) is independent of the shard layout.
+
+The whole description round-trips through a JSON payload
+(:meth:`FleetTopology.to_payload` / :meth:`FleetTopology.from_payload`);
+its canonical form is what a ``CellSpec.fleet`` field stores and what the
+sweep cache hashes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.determinism import canonical_json
+from repro.ebs.replication import ReplicationPolicy
+from repro.host.io import MiB
+
+#: Default per-device capacities at fleet scale (kept small: a fleet cell
+#: instantiates dozens of devices, so each one stays cheap to build).
+DEFAULT_FLEET_SSD_CAPACITY = 32 * MiB
+DEFAULT_FLEET_ESSD_CAPACITY = 64 * MiB
+
+#: Default conservative synchronization window (us).  Replica deliveries are
+#: quantized to this boundary; the shard runner advances in epochs of the
+#: same width, so no cross-shard message ever has to travel into the past.
+DEFAULT_EPOCH_US = 1000.0
+
+
+def _pairs(mapping: Optional[Mapping[str, Any]]) -> tuple:
+    """Normalise a mapping to the sorted-pairs form frozen dataclasses use."""
+    return tuple(sorted((mapping or {}).items()))
+
+
+@dataclass(frozen=True)
+class DeviceGroup:
+    """``count`` devices of one registered family under a shared config."""
+
+    name: str
+    device: str
+    count: int
+    capacity_bytes: Optional[int] = None
+    #: Extra kwargs for :func:`repro.devices.create_device` (profile
+    #: overrides such as ``replication_factor`` or ``chunk_size``), as
+    #: sorted pairs.
+    device_params: tuple = ()
+    preload: bool = True
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"group {self.name!r} needs count >= 1")
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "device": self.device,
+            "count": self.count,
+            "capacity_bytes": self.capacity_bytes,
+            "device_params": [list(pair) for pair in self.device_params],
+            "preload": self.preload,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "DeviceGroup":
+        data = dict(payload)
+        data["device_params"] = tuple(
+            tuple(pair) for pair in data.get("device_params", ()))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One workload bound to every device of ``group``.
+
+    ``workload`` is a sorted tuple of (field, value) pairs.  Without a
+    ``trace`` key the fields describe a closed-loop
+    :class:`~repro.workload.fio.FioJob` (``pattern``, ``io_size``,
+    ``queue_depth``, ``io_count``, ...).  With ``trace`` set to a family
+    name the remaining fields are synthesis knobs forwarded to
+    :func:`repro.workload.trace.synthesize_trace` and the replay is
+    open-loop.
+    """
+
+    name: str
+    group: str
+    workload: tuple
+
+    def workload_dict(self) -> dict[str, Any]:
+        return dict(self.workload)
+
+    @property
+    def is_trace(self) -> bool:
+        return "trace" in dict(self.workload)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"name": self.name, "group": self.group,
+                "workload": self.workload_dict()}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Tenant":
+        return cls(name=payload["name"], group=payload["group"],
+                   workload=_pairs(payload.get("workload")))
+
+
+@dataclass(frozen=True)
+class ReplicationEdge:
+    """Asynchronous mirroring of ``source`` tenant writes onto ``target``.
+
+    Each completed write on source device ``i`` produces
+    ``replication_factor`` replica writes on target devices ``(i + r) %
+    target.count``.  The factor is validated through the same
+    :class:`~repro.ebs.replication.ReplicationPolicy` the intra-volume EBS
+    path uses; cross-group mirroring is asynchronous, so the policy's write
+    quorum never gates the primary acknowledgement (quorum 1).
+    """
+
+    source: str
+    target: str
+    replication_factor: int = 1
+
+    def policy(self) -> ReplicationPolicy:
+        return ReplicationPolicy(replication_factor=self.replication_factor,
+                                 write_quorum=1)
+
+    def __post_init__(self) -> None:
+        self.policy()  # validates the factor
+        if self.source == self.target:
+            raise ValueError(f"edge {self.source!r} -> {self.target!r} "
+                             "may not target its own group")
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"source": self.source, "target": self.target,
+                "replication_factor": self.replication_factor}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ReplicationEdge":
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """A named fleet: device groups x tenants x replication edges."""
+
+    name: str
+    groups: tuple[DeviceGroup, ...]
+    tenants: tuple[Tenant, ...] = ()
+    edges: tuple[ReplicationEdge, ...] = ()
+    #: Conservative synchronization window; also the replica-delivery
+    #: quantum (see module docstring).
+    epoch_us: float = DEFAULT_EPOCH_US
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        names = [group.name for group in self.groups]
+        if not names:
+            raise ValueError("a fleet needs at least one device group")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate group names in {names}")
+        known = set(names)
+        for tenant in self.tenants:
+            if tenant.group not in known:
+                raise ValueError(f"tenant {tenant.name!r} targets unknown "
+                                 f"group {tenant.group!r}")
+        tenant_names = [tenant.name for tenant in self.tenants]
+        if len(set(tenant_names)) != len(tenant_names):
+            raise ValueError(f"duplicate tenant names in {tenant_names}")
+        by_name = {group.name: group for group in self.groups}
+        for edge in self.edges:
+            for end in (edge.source, edge.target):
+                if end not in known:
+                    raise ValueError(f"edge references unknown group {end!r}")
+            if edge.replication_factor > by_name[edge.target].count:
+                raise ValueError(
+                    f"edge {edge.source!r} -> {edge.target!r} replicates "
+                    f"{edge.replication_factor}-way onto a group of only "
+                    f"{by_name[edge.target].count} devices")
+        if self.epoch_us <= 0:
+            raise ValueError("epoch_us must be positive")
+
+    # -- enumeration -------------------------------------------------------
+    @property
+    def total_devices(self) -> int:
+        return sum(group.count for group in self.groups)
+
+    def group(self, name: str) -> DeviceGroup:
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(name)
+
+    def device_table(self) -> list[tuple[str, int]]:
+        """Global device enumeration: ``[(group_name, local_index), ...]``.
+
+        The position in this list is the device's **global index** -- the
+        identity every layer (sharding, replication routing, metric merges)
+        keys on.  It depends only on the declaration order of the groups,
+        never on the shard layout.
+        """
+        table = []
+        for group in self.groups:
+            for local_index in range(group.count):
+                table.append((group.name, local_index))
+        return table
+
+    def group_indices(self, name: str) -> list[int]:
+        """Global indices of every device in group ``name`` (local order)."""
+        table = self.device_table()
+        return [index for index, (group_name, _) in enumerate(table)
+                if group_name == name]
+
+    def edges_from(self, group_name: str) -> list[ReplicationEdge]:
+        return [edge for edge in self.edges if edge.source == group_name]
+
+    # -- serialization -----------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "groups": [group.to_payload() for group in self.groups],
+            "tenants": [tenant.to_payload() for tenant in self.tenants],
+            "edges": [edge.to_payload() for edge in self.edges],
+            "epoch_us": self.epoch_us,
+            "seed": self.seed,
+        }
+
+    def canonical(self) -> str:
+        """Canonical JSON form (what ``CellSpec.fleet`` stores and hashes)."""
+        return canonical_json(self.to_payload())
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "FleetTopology":
+        return cls(
+            name=payload["name"],
+            groups=tuple(DeviceGroup.from_payload(entry)
+                         for entry in payload["groups"]),
+            tenants=tuple(Tenant.from_payload(entry)
+                          for entry in payload.get("tenants", ())),
+            edges=tuple(ReplicationEdge.from_payload(entry)
+                        for entry in payload.get("edges", ())),
+            epoch_us=payload.get("epoch_us", DEFAULT_EPOCH_US),
+            seed=payload.get("seed", 17),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetTopology":
+        return cls.from_payload(json.loads(text))
+
+    def scaled(self, **changes) -> "FleetTopology":
+        """Copy with some top-level fields changed (e.g. ``epoch_us``)."""
+        return replace(self, **changes)
+
+
+# ---------------------------------------------------------------------------
+# Convenience builders (plain dicts in, normalised tuples out)
+# ---------------------------------------------------------------------------
+
+def group(name: str, device: str, count: int,
+          capacity_bytes: Optional[int] = None,
+          device_params: Optional[Mapping[str, Any]] = None,
+          preload: bool = True) -> DeviceGroup:
+    return DeviceGroup(name=name, device=device, count=count,
+                       capacity_bytes=capacity_bytes,
+                       device_params=_pairs(device_params), preload=preload)
+
+
+def tenant(name: str, group_name: str, **workload) -> Tenant:
+    return Tenant(name=name, group=group_name, workload=_pairs(workload))
+
+
+def edge(source: str, target: str, replication_factor: int = 1) -> ReplicationEdge:
+    return ReplicationEdge(source=source, target=target,
+                           replication_factor=replication_factor)
+
+
+def fleet(name: str, groups: Sequence[DeviceGroup],
+          tenants: Sequence[Tenant] = (),
+          edges: Sequence[ReplicationEdge] = (),
+          epoch_us: float = DEFAULT_EPOCH_US, seed: int = 17) -> FleetTopology:
+    return FleetTopology(name=name, groups=tuple(groups),
+                         tenants=tuple(tenants), edges=tuple(edges),
+                         epoch_us=epoch_us, seed=seed)

@@ -1,0 +1,42 @@
+"""Canonical hashing and deterministic seed derivation.
+
+Every layer that fans work out -- sweep cells across worker processes,
+workload streams within a cell, fleet tenants across shard simulators --
+derives child seeds through :func:`derive_seed` so that
+
+* no two children ever share an RNG stream (seeds are SHA-256-separated by
+  the child's identity, not produced by arithmetic that can collide), and
+* the derivation depends only on *logical* identity (scenario seed, tenant
+  name, device index, ...), never on the execution layout (worker count,
+  shard assignment), which is what makes serial and parallel/sharded runs
+  bit-identical.
+
+These helpers used to live in :mod:`repro.experiments.sweep`; they moved
+here so the cluster layer (which sits *below* the experiments layer) can
+use the same derivation without an upward import.  The sweep module
+re-exports them, so existing call sites are unaffected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+__all__ = ["canonical_json", "spec_hash", "derive_seed"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical (sorted-keys, compact) JSON used for hashing and caching."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(payload: Any) -> str:
+    """Stable SHA-256 hex digest of any JSON-serialisable payload."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def derive_seed(base_seed: int, params: Mapping[str, Any]) -> int:
+    """Deterministic, collision-free child seed from a base seed + identity."""
+    digest = spec_hash({"seed": base_seed, "params": dict(params)})
+    return int(digest[:12], 16)

@@ -3,10 +3,18 @@
 Importing :mod:`repro.devices` imports this module, which registers every
 built-in factory.  Capacities default to the profiles' own defaults; the
 experiment layers pass explicit (scaled) capacities.
+
+Factories accept **profile overrides** as keyword arguments: any field of
+the underlying profile dataclass (``seed``, and for the ESSDs
+``replication_factor`` / ``write_quorum`` / ``chunk_size`` / ...) can be
+swept from a scenario grid or pinned per fleet device group.  When
+``replication_factor`` is lowered below the profile's write quorum, the
+quorum follows it down (a quorum can never exceed the replica count).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Optional
 
 from repro.devices.loopback import LoopbackDevice
@@ -18,28 +26,42 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Simulator
 
 
+def _apply_overrides(profile, overrides: dict):
+    """Replace profile fields with the given overrides (validated copy)."""
+    if not overrides:
+        return profile
+    if "replication_factor" in overrides and "write_quorum" not in overrides:
+        overrides = dict(overrides)
+        overrides["write_quorum"] = min(profile.write_quorum,
+                                        overrides["replication_factor"])
+    return replace(profile, **overrides)
+
+
 @register_device("SSD")
 def _build_ssd(sim: "Simulator", capacity_bytes: Optional[int] = None,
-               name: Optional[str] = None, **kwargs) -> SsdDevice:
+               name: Optional[str] = None, **overrides) -> SsdDevice:
     profile = samsung_970pro_profile(capacity_bytes) if capacity_bytes \
         else samsung_970pro_profile()
-    return SsdDevice(sim, profile, name=name or "SSD", **kwargs)
+    profile = _apply_overrides(profile, overrides)
+    return SsdDevice(sim, profile, name=name or "SSD")
 
 
 @register_device("ESSD-1")
 def _build_essd1(sim: "Simulator", capacity_bytes: Optional[int] = None,
-                 name: Optional[str] = None, **kwargs) -> EssdDevice:
+                 name: Optional[str] = None, **overrides) -> EssdDevice:
     profile = aws_io2_profile(capacity_bytes) if capacity_bytes \
         else aws_io2_profile()
-    return EssdDevice(sim, profile, name=name, **kwargs)
+    profile = _apply_overrides(profile, overrides)
+    return EssdDevice(sim, profile, name=name)
 
 
 @register_device("ESSD-2")
 def _build_essd2(sim: "Simulator", capacity_bytes: Optional[int] = None,
-                 name: Optional[str] = None, **kwargs) -> EssdDevice:
+                 name: Optional[str] = None, **overrides) -> EssdDevice:
     profile = alibaba_pl3_profile(capacity_bytes) if capacity_bytes \
         else alibaba_pl3_profile()
-    return EssdDevice(sim, profile, name=name, **kwargs)
+    profile = _apply_overrides(profile, overrides)
+    return EssdDevice(sim, profile, name=name)
 
 
 @register_device("LOOP")

@@ -5,6 +5,7 @@ Usage (module entry point)::
     python -m repro.experiments list                 # registered scenarios
     python -m repro.experiments run rand-vs-seq-write --parallel --out out.json
     python -m repro.experiments run figure4 --serial --quick
+    python -m repro.experiments fleet fleet-smoke --shards 4
     python -m repro.experiments diff before.json after.json --metric iops
     python -m repro.experiments report --quick       # full paper report
 
@@ -12,7 +13,10 @@ Usage (module entry point)::
 (parallel across worker processes by default), caches per-cell JSON results
 under ``--cache-dir`` (default ``.sweep-cache`` or ``$REPRO_SWEEP_CACHE``),
 prints a metrics table, and optionally saves the whole sweep to ``--out``.
-``diff`` compares two saved sweeps cell-by-cell.
+``fleet`` runs a fleet scenario through the sharded cluster layer
+(:mod:`repro.cluster`): ``--shards 1`` is the serial reference path and any
+``--shards N`` produces bit-identical fleet metrics. ``diff`` compares two
+saved sweeps cell-by-cell.
 """
 
 from __future__ import annotations
@@ -131,6 +135,74 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    """Run a fleet scenario's topologies through the sharded cluster layer."""
+    from repro.cluster import FleetCoordinator, FleetTopology
+
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    cells = spec.cells()
+    if args.quick:
+        cells = quick_cells(cells)
+    fleet_cells = [cell for cell in cells if cell.fleet is not None]
+    if not fleet_cells:
+        print(f"error: scenario {spec.name!r} has no fleet cells "
+              f"(fleet scenarios: see 'list', tag 'fleet')", file=sys.stderr)
+        return 2
+    coordinator = FleetCoordinator(
+        shards=args.shards,
+        processes=None if not args.serial else False,
+        epoch_us=args.epoch_us,
+    )
+    reports = []
+    for cell in fleet_cells:
+        topology = FleetTopology.from_json(cell.fleet)
+        payload = coordinator.run(topology)
+        reports.append({"labels": dict(cell.labels), "result": payload})
+        labels = json.dumps(dict(cell.labels), sort_keys=True)
+        fleet_metrics = payload["fleet"]
+        runtime = payload["runtime"]
+        print(f"\n# {topology.name} {labels}")
+        print(f"{fleet_metrics['devices']} devices, "
+              f"{payload['topology']['tenants']} tenants, "
+              f"{payload['topology']['edges']} replication edges")
+        rows = [[name,
+                 tenant["group"],
+                 str(tenant["devices"]),
+                 str(tenant["ios_completed"]),
+                 f"{tenant['mean_us']:.1f}",
+                 f"{tenant['p99_us']:.1f}",
+                 f"{tenant['p999_us']:.1f}",
+                 f"{tenant['throughput_gbps']:.3f}",
+                 f"{tenant['iops']:.0f}"]
+                for name, tenant in sorted(payload["tenants"].items())]
+        print(format_table(["tenant", "group", "devs", "ios", "mean_us",
+                            "p99_us", "p999_us", "GB/s", "IOPS"], rows))
+        rows = [[name, group["device_type"], str(group["devices"]),
+                 str(group["ios_completed"]), str(group["replica_writes"]),
+                 f"{group['mean_us']:.1f}" if group["ios_completed"] else "-"]
+                for name, group in sorted(payload["groups"].items())]
+        print(format_table(["group", "device", "devs", "tenant ios",
+                            "replica writes", "mean_us"], rows))
+        print(f"fleet: {fleet_metrics['ios_completed']} ios, "
+              f"mean {fleet_metrics['mean_us']:.1f}us, "
+              f"p99.9 {fleet_metrics['p999_us']:.1f}us, "
+              f"{fleet_metrics['throughput_gbps']:.3f} GB/s aggregate")
+        print(f"runtime: {runtime['shards']} shard(s) ({runtime['mode']}), "
+              f"{runtime['epochs']} epochs, {runtime['wall_s']:.2f}s wall, "
+              f"{runtime['events_per_sec']:.0f} events/s")
+    if args.out:
+        from pathlib import Path
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(reports, indent=2, sort_keys=True))
+        print(f"\nfleet report saved to {path}")
+    return 0
+
+
 def _cmd_diff(args) -> int:
     try:
         a = SweepResult.load(args.a)
@@ -195,6 +267,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--out", default=None,
                             help="save the sweep result JSON to this path")
     run_parser.set_defaults(func=_cmd_run)
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="run a fleet scenario on the sharded cluster runner")
+    fleet_parser.add_argument("scenario")
+    fleet_parser.add_argument("--shards", type=int, default=1,
+                              help="shard-simulator count (default 1: the "
+                                   "serial reference path)")
+    fleet_parser.add_argument("--serial", action="store_true",
+                              help="keep all shards in-process (no worker "
+                                   "processes), whatever --shards says")
+    fleet_parser.add_argument("--epoch-us", type=float, default=None,
+                              help="override the topology's conservative "
+                                   "synchronization window")
+    fleet_parser.add_argument("--quick", action="store_true",
+                              help="shrink tenant workloads for a fast pass")
+    fleet_parser.add_argument("--out", default=None,
+                              help="save the fleet reports JSON to this path")
+    fleet_parser.set_defaults(func=_cmd_fleet)
 
     diff_parser = sub.add_parser("diff", help="compare two saved sweep results")
     diff_parser.add_argument("a")

@@ -63,19 +63,25 @@ class ExperimentScale:
 
 def build_device(sim: Simulator, kind: "DeviceKind | str",
                  scale: Optional[ExperimentScale] = None,
-                 name: Optional[str] = None):
-    """Instantiate a registered device on ``sim`` at experiment scale."""
+                 name: Optional[str] = None,
+                 device_params: Optional[dict] = None):
+    """Instantiate a registered device on ``sim`` at experiment scale.
+
+    ``device_params`` are forwarded to the factory as profile overrides
+    (e.g. ``replication_factor`` / ``chunk_size`` for the ESSD cluster).
+    """
     scale = scale or ExperimentScale.default()
     device_name = kind.value if isinstance(kind, DeviceKind) else str(kind)
     return create_device(sim, device_name,
                          capacity_bytes=scale.capacity_of(device_name),
-                         name=name)
+                         name=name, **(device_params or {}))
 
 
 def measure_cell(kind: "DeviceKind | str", job: FioJob,
                  scale: Optional[ExperimentScale] = None,
                  preload: bool = True, return_device: bool = False,
-                 trace: bool = False):
+                 trace: bool = False,
+                 device_params: Optional[dict] = None):
     """Run one (device, job) cell on a fresh simulator and return its result.
 
     With ``return_device=True`` the ``(result, device)`` pair is returned so
@@ -85,7 +91,7 @@ def measure_cell(kind: "DeviceKind | str", job: FioJob,
     ``device.tracer`` afterwards).
     """
     sim = Simulator()
-    device = build_device(sim, kind, scale)
+    device = build_device(sim, kind, scale, device_params=device_params)
     if trace:
         from repro.sim import Tracer
         device.set_tracer(Tracer(sim))

@@ -37,6 +37,7 @@ JSON of the cell spec and the cache version.
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Sequence
 
@@ -45,6 +46,10 @@ from repro.host.io import KiB, MiB
 
 #: CellSpec field names a grid axis may target directly.
 _CELL_FIELDS = {f.name for f in dataclasses.fields(CellSpec)}
+
+#: Axes routed into ``CellSpec.device_params`` (device-profile overrides)
+#: rather than the job or the pattern.
+_DEVICE_PARAM_AXES = {"replication_factor", "write_quorum", "chunk_size"}
 
 #: Default scaled capacities for registry scenarios (kept small so a CLI
 #: sweep of dozens of cells finishes in seconds per worker).
@@ -70,6 +75,12 @@ class ScenarioSpec:
     grid: tuple[tuple[str, tuple], ...] = ()
     #: Concurrent streams per cell: tuple of (name, overrides) pairs.
     streams: tuple[tuple[str, tuple], ...] = ()
+    #: A fleet scenario: the canonical JSON of a
+    #: :class:`repro.cluster.FleetTopology` payload.  Grid axes named
+    #: ``fleet.<field>`` override a topology top-level field, and
+    #: ``fleet.<group-or-tenant>.<field>`` a group field / tenant workload
+    #: knob -- that is how a sweep explores fleet *shape* axes.
+    fleet: Optional[str] = None
     seed: int = 17
     #: "fixed" uses ``seed`` for every cell (paper-figure behaviour);
     #: "derived" derives a per-cell seed from the grid point, so no two cells
@@ -94,10 +105,18 @@ class ScenarioSpec:
             for point in self.grid_points():
                 fields = dict(base)
                 pattern_params = dict(fields.pop("pattern_params", ()))
+                device_params = dict(fields.pop("device_params", ()))
+                fleet_overrides: dict[str, Any] = {}
                 stream_overrides = {name: dict(overrides)
                                     for name, overrides in self.streams}
                 for axis, value in point.items():
-                    if "." in axis:
+                    if axis.startswith("fleet."):
+                        if self.fleet is None:
+                            raise ValueError(
+                                f"grid axis {axis!r} needs a fleet topology "
+                                f"(scenario(..., fleet=...))")
+                        fleet_overrides[axis] = value
+                    elif "." in axis:
                         stream_name, _, stream_field = axis.partition(".")
                         if stream_name not in stream_overrides:
                             raise ValueError(
@@ -105,10 +124,22 @@ class ScenarioSpec:
                                 f"{stream_name!r} (streams: "
                                 f"{sorted(stream_overrides)})")
                         stream_overrides[stream_name][stream_field] = value
+                    elif axis in _DEVICE_PARAM_AXES:
+                        device_params[axis] = value
                     elif axis in _CELL_FIELDS:
                         fields[axis] = value
                     else:
                         pattern_params[axis] = value
+                if device_params:
+                    fields["device_params"] = tuple(sorted(device_params.items()))
+                if self.fleet is not None:
+                    payload = json.loads(self.fleet)
+                    for axis, value in fleet_overrides.items():
+                        _apply_fleet_axis(payload, axis, value)
+                    # Round-trip through FleetTopology so an invalid
+                    # override (bad group field, broken invariant) fails at
+                    # expansion time, not inside a worker process.
+                    fields["fleet"] = _canonical_fleet(payload)
                 if stream_overrides:
                     fields["streams"] = tuple(sorted(
                         (name, tuple(sorted(overrides.items())))
@@ -130,10 +161,58 @@ class ScenarioSpec:
         return cells
 
 
+def _apply_fleet_axis(payload: dict, axis: str, value: Any) -> None:
+    """Apply a ``fleet.*`` grid axis onto a topology payload (in place).
+
+    ``fleet.<field>`` sets a topology top-level field (``epoch_us``,
+    ``seed``, ...); ``fleet.<name>.<field>`` sets a device-group field
+    (``count``, ``capacity_bytes``, ...) or, when ``<name>`` is a tenant, a
+    workload knob.  Groups win name collisions.
+    """
+    import repro.cluster as cluster
+
+    path = axis.split(".")[1:]
+    if len(path) == 1:
+        known = {f.name for f in dataclasses.fields(cluster.FleetTopology)}
+        if path[0] not in known:
+            # An unknown top-level key would be silently dropped by
+            # FleetTopology.from_payload -- a no-op axis, not an error.
+            raise ValueError(f"fleet axis {axis!r} is not a FleetTopology "
+                             f"field (known: {sorted(known)})")
+        payload[path[0]] = value
+        return
+    if len(path) == 2:
+        head, leaf = path
+        for group in payload.get("groups", ()):
+            if group.get("name") == head:
+                group[leaf] = value
+                return
+        for tenant in payload.get("tenants", ()):
+            if tenant.get("name") == head:
+                tenant.setdefault("workload", {})[leaf] = value
+                return
+    raise ValueError(f"fleet axis {axis!r} matches no topology element")
+
+
+def _canonical_fleet(fleet: Any) -> Optional[str]:
+    """Normalise a topology argument (object / payload / JSON) to canonical
+    JSON, round-tripping through :class:`FleetTopology` so it validates."""
+    if fleet is None:
+        return None
+    from repro.cluster import FleetTopology
+
+    if isinstance(fleet, FleetTopology):
+        return fleet.canonical()
+    if isinstance(fleet, str):
+        return FleetTopology.from_json(fleet).canonical()
+    return FleetTopology.from_payload(fleet).canonical()
+
+
 def scenario(name: str, description: str, devices: Sequence[str],
              base: Optional[Mapping[str, Any]] = None,
              grid: Optional[Mapping[str, Sequence[Any]]] = None,
              streams: Optional[Mapping[str, Mapping[str, Any]]] = None,
+             fleet: Any = None,
              seed: int = 17, seed_mode: str = "fixed",
              tags: Sequence[str] = (),
              cell_builder: Optional[Callable[[], list[CellSpec]]] = None,
@@ -150,6 +229,7 @@ def scenario(name: str, description: str, devices: Sequence[str],
         streams=tuple(sorted(
             (stream_name, tuple(sorted(overrides.items())))
             for stream_name, overrides in (streams or {}).items())),
+        fleet=_canonical_fleet(fleet),
         seed=seed,
         seed_mode=seed_mode,
         tags=tuple(tags),
@@ -296,6 +376,110 @@ register(scenario(
     seed=67,
     seed_mode="derived",
     tags=("multi-tenant", "fleet", "trace"),
+))
+
+register(scenario(
+    "replication",
+    "Replication-factor x chunk-size grid over the EBS cluster: how much "
+    "write latency and throughput the durability level and striping "
+    "granularity cost",
+    devices=_ESSDS,
+    base={"pattern": "randwrite", "io_size": 64 * KiB, "queue_depth": 8,
+          "io_count": 200, "ramp_ios": 8, "preload": False},
+    grid={"replication_factor": (1, 2, 3),
+          "chunk_size": (512 * KiB, 2 * MiB)},
+    seed=71,
+    seed_mode="derived",
+    tags=("ebs", "replication"),
+))
+
+register(scenario(
+    "trace-arrivals",
+    "Open-loop bursty arrivals (workload/trace.py) replayed against the "
+    "ESSDs: offered load and burst factor vs completion tail",
+    devices=_ESSDS,
+    base={"pattern": "trace-bursty", "io_size": 64 * KiB, "preload": False,
+          "pattern_params": (("duration_us", 150_000.0),
+                             ("period_us", 20_000.0))},
+    grid={"mean_load_gbps": (0.4, 1.2), "burst_factor": (4.0, 8.0)},
+    seed=83,
+    seed_mode="derived",
+    tags=("bursty", "trace"),
+))
+
+
+def _fleet_smoke_topology():
+    """64+ devices across mixed SSD/ESSD groups with one replication edge."""
+    from repro.cluster import edge, fleet, group, tenant
+
+    return fleet(
+        "fleet-smoke",
+        groups=[
+            group("web", "SSD", 16),
+            group("db", "SSD", 12),
+            group("db-mirror", "SSD", 12),
+            group("cache", "ESSD-2", 12),
+            group("bulk", "ESSD-1", 12),
+        ],
+        tenants=[
+            tenant("frontend", "web", pattern="randread", io_size=4 * KiB,
+                   queue_depth=2, io_count=60),
+            tenant("oltp", "db", pattern="randwrite", io_size=16 * KiB,
+                   queue_depth=4, io_count=60),
+            tenant("lookup", "cache", pattern="randrw", io_size=16 * KiB,
+                   queue_depth=4, write_ratio=0.3, io_count=40),
+            tenant("ingest", "bulk", pattern="write", io_size=256 * KiB,
+                   queue_depth=8, io_count=40),
+        ],
+        edges=[edge("db", "db-mirror", replication_factor=2)],
+        epoch_us=1000.0,
+        seed=101,
+    )
+
+
+register(scenario(
+    "fleet-smoke",
+    "Cluster-scale smoke fleet: 64+ mixed SSD/ESSD devices, four tenants, "
+    "a 2-way replication edge; sweeps the web tier's size",
+    devices=("fleet",),
+    fleet=_fleet_smoke_topology(),
+    grid={"fleet.web.count": (16, 24)},
+    tags=("fleet", "cluster"),
+))
+
+
+def _datacenter_diurnal_topology():
+    """Trace-driven fleet: diurnal + bursty arrival processes on ESSDs."""
+    from repro.cluster import fleet, group, tenant
+
+    return fleet(
+        "datacenter-diurnal",
+        groups=[
+            group("pl3", "ESSD-2", 16),
+            group("io2", "ESSD-1", 8),
+        ],
+        tenants=[
+            tenant("diurnal", "pl3", trace="diurnal",
+                   duration_us=200_000.0, mean_load_gbps=0.2,
+                   peak_to_trough=4.0, io_size=64 * KiB, write_ratio=0.7),
+            tenant("bursty", "io2", trace="bursty",
+                   duration_us=200_000.0, mean_load_gbps=0.25,
+                   burst_factor=6.0, burst_fraction=0.1,
+                   period_us=25_000.0, io_size=64 * KiB),
+        ],
+        epoch_us=5000.0,
+        seed=131,
+    )
+
+
+register(scenario(
+    "datacenter-diurnal",
+    "Trace-driven fleet (workload/trace.py): a diurnal day/night curve on "
+    "16 PL3 volumes next to on/off bursts on 8 io2 volumes",
+    devices=("fleet",),
+    fleet=_datacenter_diurnal_topology(),
+    grid={"fleet.diurnal.mean_load_gbps": (0.2, 0.4)},
+    tags=("fleet", "cluster", "trace"),
 ))
 
 register(scenario(

@@ -41,10 +41,17 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence
 
+# Re-exported for backwards compatibility: the canonical-hash / seed
+# helpers now live in repro.determinism so lower layers (cluster) share
+# exactly one derivation scheme.
+from repro.determinism import canonical_json, derive_seed, spec_hash  # noqa: F401
+
 #: Manual override for cache invalidation.  Rarely needed now: cache keys
 #: also include a fingerprint of the device-model source files (see
 #: :func:`model_fingerprint`), so model changes auto-invalidate.
-CACHE_VERSION = 2
+#: Version 3: per-stream seeds are hash-derived (no additive collisions),
+#: which changes multi-stream cell results.
+CACHE_VERSION = 3
 
 #: Default cache directory (overridable per-runner or via the environment).
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_SWEEP_CACHE", ".sweep-cache")
@@ -53,7 +60,7 @@ DEFAULT_CACHE_DIR = os.environ.get("REPRO_SWEEP_CACHE", ".sweep-cache")
 #: contents make up the cache fingerprint.  Experiment/CLI modules are
 #: deliberately excluded -- they orchestrate, they do not change results.
 _MODEL_PACKAGES = ("sim", "host", "flash", "ssd", "ebs", "devices", "workload",
-                   "metrics")
+                   "metrics", "cluster")
 
 
 @lru_cache(maxsize=1)
@@ -100,22 +107,6 @@ def expand_grid(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
             for combo in itertools.product(*(grid[axis] for axis in axes))]
 
 
-def canonical_json(payload: Any) -> str:
-    """Canonical (sorted-keys, compact) JSON used for hashing and caching."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def spec_hash(payload: Any) -> str:
-    """Stable SHA-256 hex digest of any JSON-serialisable payload."""
-    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
-
-
-def derive_seed(base_seed: int, params: Mapping[str, Any]) -> int:
-    """Deterministic per-cell seed from the scenario seed and cell params."""
-    digest = spec_hash({"seed": base_seed, "params": dict(params)})
-    return int(digest[:12], 16)
-
-
 # ---------------------------------------------------------------------------
 # Cell specification and execution
 # ---------------------------------------------------------------------------
@@ -155,12 +146,23 @@ class CellSpec:
     #: Attach a request-path tracer and report the per-stage latency
     #: breakdown in the metrics (``metrics["trace"]``).
     trace: bool = False
+    #: Device-profile overrides forwarded to ``create_device`` (e.g.
+    #: ``replication_factor`` / ``chunk_size`` for the EBS cluster), as a
+    #: sorted tuple of (field, value) pairs.
+    device_params: tuple = ()
+    #: A fleet-simulation cell: the canonical JSON of a
+    #: :class:`repro.cluster.FleetTopology` payload.  When set, the cell is
+    #: executed through the cluster layer (serially -- the sweep pool
+    #: already parallelises across cells) and the fleet/device/job fields
+    #: above are ignored except for bookkeeping.
+    fleet: Optional[str] = None
     #: Free-form labels carried through to the result (not part of the job).
     labels: tuple = ()
 
     def to_payload(self) -> dict[str, Any]:
         payload = asdict(self)
         payload["pattern_params"] = list(list(pair) for pair in self.pattern_params)
+        payload["device_params"] = list(list(pair) for pair in self.device_params)
         payload["labels"] = list(list(pair) for pair in self.labels)
         payload["streams"] = [
             [name, [list(pair) for pair in overrides]]
@@ -172,6 +174,7 @@ class CellSpec:
     def from_payload(cls, payload: Mapping[str, Any]) -> "CellSpec":
         data = dict(payload)
         data["pattern_params"] = tuple(tuple(pair) for pair in data.get("pattern_params", ()))
+        data["device_params"] = tuple(tuple(pair) for pair in data.get("device_params", ()))
         data["labels"] = tuple(tuple(pair) for pair in data.get("labels", ()))
         data["streams"] = tuple(
             (name, tuple(tuple(pair) for pair in overrides))
@@ -206,8 +209,10 @@ def _job_from_cell(cell: CellSpec, name: str, overrides: Mapping[str, Any],
 
     fields = {field_name: getattr(cell, field_name) for field_name in _JOB_FIELDS}
     # Unless a stream pins its own seed, derive one per stream so concurrent
-    # streams never share an RNG sequence.
-    fields["seed"] = cell.seed + 7919 * index
+    # streams never share an RNG sequence.  Hash-derived (not additive):
+    # ``seed + k*index`` schemes collide across cells whose base seeds
+    # differ by a multiple of k.
+    fields["seed"] = derive_seed(cell.seed, {"stream": name, "index": index})
     for key, value in overrides.items():
         if key == "pattern_params":
             value = tuple(tuple(pair) for pair in value)
@@ -236,7 +241,8 @@ def _run_stream_cell(cell: CellSpec) -> dict[str, Any]:
         device = devices.get(device_name)
         if device is None:
             device = create_device(sim, device_name,
-                                   capacity_bytes=scale.capacity_of(device_name))
+                                   capacity_bytes=scale.capacity_of(device_name),
+                                   **dict(cell.device_params))
             if cell.preload:
                 device.preload()
             if tracer is not None:
@@ -289,6 +295,67 @@ def _run_stream_cell(cell: CellSpec) -> dict[str, Any]:
     return metrics
 
 
+def _run_fleet_cell(cell: CellSpec) -> dict[str, Any]:
+    """Execute a fleet cell through the cluster layer (one in-process shard).
+
+    The sweep pool already parallelises across cells, so each fleet cell
+    runs serially here; ``python -m repro.experiments fleet`` is the entry
+    point for sharding one big fleet across worker processes.
+    """
+    from repro.cluster import FleetCoordinator, FleetTopology, fleet_headline
+
+    topology = FleetTopology.from_json(cell.fleet)
+    payload = FleetCoordinator(shards=1, processes=False).run(topology)
+    # Wall-clock data is nondeterministic; the cached metrics must not be.
+    payload.pop("runtime", None)
+    metrics = fleet_headline(payload)
+    metrics["fleet"] = payload
+    return metrics
+
+
+def _run_trace_cell(cell: CellSpec) -> dict[str, Any]:
+    """Execute a ``trace-<family>`` cell: open-loop replay of a synthetic
+    arrival process (bursty/diurnal/uniform) against the cell's device."""
+    from repro.experiments.common import ExperimentScale, build_device
+    from repro.sim import Simulator
+    from repro.workload.trace import replay_trace, synthesize_trace
+
+    family = cell.pattern[len("trace-"):]
+    sim = Simulator()
+    scale = ExperimentScale(ssd_capacity_bytes=cell.ssd_capacity_bytes,
+                            essd_capacity_bytes=cell.essd_capacity_bytes)
+    device = build_device(sim, cell.device, scale,
+                          device_params=dict(cell.device_params))
+    if cell.preload:
+        device.preload()
+    params = dict(cell.pattern_params)
+    params.setdefault("duration_us", cell.runtime_us or 100_000.0)
+    params.setdefault("io_size", cell.io_size)
+    if cell.write_ratio is not None:
+        params.setdefault("write_ratio", cell.write_ratio)
+    params.setdefault("region_bytes", device.capacity_bytes)
+    trace = synthesize_trace(family, seed=cell.seed, **params)
+    result = replay_trace(sim, device, trace)
+    summary = result.latency.summary()
+    duration = result.timeline.duration_us
+    return {
+        "ios_completed": result.ios_completed,
+        "bytes_read": trace.read_bytes(),
+        "bytes_written": trace.write_bytes(),
+        "duration_us": duration,
+        "throughput_gbps": result.timeline.average_gbps(),
+        "iops": result.ios_completed / duration * 1e6 if duration > 0 else 0.0,
+        "mean_us": summary.mean_us,
+        "p50_us": summary.p50_us,
+        "p99_us": summary.p99_us,
+        "p999_us": summary.p999_us,
+        "max_us": summary.max_us,
+        "unfinished": result.unfinished,
+        "offered_mean_gbps": trace.mean_load_gbps(),
+        "offered_peak_gbps": trace.peak_load_gbps(),
+    }
+
+
 def run_cell(cell: CellSpec) -> dict[str, Any]:
     """Execute one cell on a fresh simulator and return its metrics dict.
 
@@ -299,6 +366,10 @@ def run_cell(cell: CellSpec) -> dict[str, Any]:
     from repro.experiments.common import DeviceKind, ExperimentScale, measure_cell
     from repro.workload.fio import FioJob
 
+    if cell.fleet is not None:
+        return _run_fleet_cell(cell)
+    if cell.pattern.startswith("trace-"):
+        return _run_trace_cell(cell)
     if cell.streams:
         return _run_stream_cell(cell)
 
@@ -320,7 +391,8 @@ def run_cell(cell: CellSpec) -> dict[str, Any]:
         seed=cell.seed,
     )
     result, device = measure_cell(kind, job, scale, preload=cell.preload,
-                                  return_device=True, trace=cell.trace)
+                                  return_device=True, trace=cell.trace,
+                                  device_params=dict(cell.device_params))
     summary = result.latency.summary()
     metrics: dict[str, Any] = {
         "ios_completed": result.ios_completed,
@@ -495,7 +567,14 @@ def diff_results(a: SweepResult, b: SweepResult,
         value_a = left[key].metrics.get(metric) if key in left else None
         value_b = right[key].metrics.get(metric) if key in right else None
         change = None
-        if value_a is not None and value_b is not None:
+
+        def _unusable(value) -> bool:
+            # A missing side and a NaN measurement both mean "no comparable
+            # number": report the raw values, leave the change undefined
+            # (NaN != NaN would otherwise always trip --fail-on-change).
+            return value is None or (isinstance(value, float) and math.isnan(value))
+
+        if not _unusable(value_a) and not _unusable(value_b):
             if value_a == 0:
                 # A zero baseline going nonzero is an infinite relative
                 # change -- it must still trip --fail-on-change.
@@ -613,8 +692,22 @@ def quick_cells(cells: Sequence[CellSpec], io_count: int = 60) -> list[CellSpec]
 
     Count-bounded cells are capped at ``io_count`` I/Os; byte-bounded cells
     (sustained floods) are cut to an eighth of their volume, floored so at
-    least ``io_count`` I/Os still run.  Stream overrides shrink the same way.
+    least ``io_count`` I/Os still run.  Stream overrides shrink the same
+    way.  Trace-replay cells cap the synthesized duration, and fleet cells
+    shrink every tenant workload inside the topology.
     """
+    QUICK_TRACE_DURATION_US = 100_000.0
+
+    def shrink_fleet(fleet_json: str) -> str:
+        payload = json.loads(fleet_json)
+        for tenant in payload.get("tenants", ()):
+            workload = tenant.get("workload", {})
+            if workload.get("io_count") is not None:
+                workload["io_count"] = min(workload["io_count"], io_count)
+            if workload.get("duration_us") is not None:
+                workload["duration_us"] = min(workload["duration_us"],
+                                              QUICK_TRACE_DURATION_US)
+        return canonical_json(payload)
     def shrink_streams(cell: CellSpec) -> tuple:
         shrunk_streams = []
         for name, overrides in cell.streams:
@@ -634,7 +727,14 @@ def quick_cells(cells: Sequence[CellSpec], io_count: int = 60) -> list[CellSpec]
     shrunk = []
     for cell in cells:
         changes: dict[str, Any] = {}
-        if cell.io_count is not None:
+        if cell.fleet is not None:
+            changes["fleet"] = shrink_fleet(cell.fleet)
+        elif cell.pattern.startswith("trace-"):
+            params = dict(cell.pattern_params)
+            duration = params.get("duration_us", cell.runtime_us or 100_000.0)
+            params["duration_us"] = min(duration, QUICK_TRACE_DURATION_US)
+            changes["pattern_params"] = tuple(sorted(params.items()))
+        elif cell.io_count is not None:
             changes["io_count"] = min(cell.io_count, io_count)
         elif cell.total_bytes is not None:
             quick_bytes = max(cell.io_size * io_count, cell.total_bytes // 8)

@@ -58,6 +58,15 @@ class ThroughputTimeline:
         for time_us, num_bytes in events:
             self.record(time_us, num_bytes)
 
+    def events(self) -> list[tuple[float, int]]:
+        """The recorded ``(completion time, bytes)`` events, in time order.
+
+        This is the merge/serialization interface: the fleet layer ships
+        per-shard timelines as plain pairs and rebuilds a merged timeline
+        with :meth:`record_many`.
+        """
+        return list(zip(self._times, self._bytes))
+
     @property
     def total_bytes(self) -> int:
         return int(sum(self._bytes))

@@ -13,7 +13,7 @@ simulation -- the building block for noisy-neighbor and mixed-fleet cells.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.host.io import IOKind, IORequest, KiB
 from repro.metrics.latency import LatencyRecorder, LatencySummary
@@ -150,13 +150,19 @@ def _build_pattern(job: FioJob, device: "Device") -> AccessPattern:
 
 
 def run_job(sim: "Simulator", device: "Device", job: FioJob,
-            run: bool = True) -> JobResult:
+            run: bool = True,
+            on_complete: Optional[Callable[["IORequest", float], None]] = None,
+            ) -> JobResult:
     """Execute ``job`` against ``device``.
 
     With ``run=True`` (default) the simulator is advanced until the job
     finishes and the populated :class:`JobResult` is returned.  With
     ``run=False`` the job's processes are only scheduled (so several jobs can
     run concurrently) and the caller advances the simulator itself.
+
+    ``on_complete(request, now_us)`` is invoked for every completed I/O
+    (ramp I/Os included) -- the hook the fleet layer uses to mirror writes
+    across replication edges.
     """
     result = JobResult(job=job, device_name=device.name, started_us=sim.now)
     pattern = _build_pattern(job, device)
@@ -193,6 +199,8 @@ def run_job(sim: "Simulator", device: "Device", job: FioJob,
             kind, offset = pattern.next()
             request = yield device.submit(
                 IORequest(kind, offset, job.io_size, tag=job.name))
+            if on_complete is not None:
+                on_complete(request, sim.now)
             if state["ramp_remaining"] > 0:
                 state["ramp_remaining"] -= 1
             else:

@@ -14,7 +14,7 @@ import math
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.host.device import BlockDevice
 from repro.host.io import IOKind, KiB
@@ -215,6 +215,34 @@ def synthesize_diurnal_trace(duration_us: float, mean_load_gbps: float,
     return trace
 
 
+#: Named trace families usable from the sweep layer (``trace-<family>``
+#: cell patterns) and from fleet tenants (``{"trace": "<family>", ...}``).
+TRACE_FAMILIES = {
+    "uniform": synthesize_uniform_trace,
+    "bursty": synthesize_bursty_trace,
+    "diurnal": synthesize_diurnal_trace,
+}
+
+
+def synthesize_trace(family: str, **params) -> Trace:
+    """Synthesize a trace by family name, forwarding generator knobs.
+
+    ``family`` is one of :data:`TRACE_FAMILIES`; ``params`` are passed to the
+    matching ``synthesize_*_trace`` function (``duration_us``,
+    ``mean_load_gbps`` / ``load_gbps``, ``burst_factor``, ``peak_to_trough``,
+    ...).  This is the single entry point the scenario grids and fleet
+    topologies go through, so an axis named after a generator knob lands on
+    the generator unchanged.
+    """
+    try:
+        synthesize = TRACE_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(TRACE_FAMILIES))
+        raise ValueError(f"unknown trace family {family!r}; known: {known}") \
+            from None
+    return synthesize(**params)
+
+
 # ---------------------------------------------------------------------------
 # Replay
 # ---------------------------------------------------------------------------
@@ -242,11 +270,18 @@ class ReplayResult:
 
 
 def replay_trace(sim: "Simulator", device: BlockDevice, trace: Trace,
-                 scale_region: bool = True) -> ReplayResult:
+                 scale_region: bool = True, run: bool = True,
+                 on_complete: Optional[Callable[..., None]] = None,
+                 ) -> ReplayResult:
     """Replay ``trace`` open-loop (requests are issued at their timestamps).
 
     Offsets are wrapped into the device's address space when ``scale_region``
     is set, so traces synthesized for a different capacity still apply.
+    With ``run=False`` the replay is only scheduled (several replays can then
+    share one simulation) and the caller advances the simulator itself; note
+    that ``unfinished`` is only meaningful once the simulation has drained.
+    ``on_complete(request, now_us)`` fires per completed request (the fleet
+    layer's replication hook).
     """
     result = ReplayResult(trace_name=trace.name, device_name=device.name)
     outstanding = {"count": 0}
@@ -262,6 +297,8 @@ def replay_trace(sim: "Simulator", device: BlockDevice, trace: Trace,
         outstanding["count"] += 1
         request = yield submit
         outstanding["count"] -= 1
+        if on_complete is not None:
+            on_complete(request, sim.now)
         result.ios_completed += 1
         result.bytes_transferred += request.size
         result.latency.record(request.latency)
@@ -276,6 +313,7 @@ def replay_trace(sim: "Simulator", device: BlockDevice, trace: Trace,
             sim.process(issue(event))
 
     sim.process(driver())
-    sim.run()
-    result.unfinished = outstanding["count"]
+    if run:
+        sim.run()
+        result.unfinished = outstanding["count"]
     return result

@@ -1,0 +1,351 @@
+"""Tests for the sharded fleet-simulation subsystem (repro.cluster)."""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    FleetCoordinator,
+    FleetTopology,
+    ShardWorker,
+    edge,
+    fleet,
+    group,
+    partition_topology,
+    run_fleet_serial,
+    tenant,
+)
+from repro.cluster.shard import ShardPlan
+from repro.experiments.cli import main as cli_main
+from repro.experiments.scenarios import get_scenario, register, scenario
+from repro.experiments.sweep import SweepRunner, run_cell
+
+#: A small mixed fleet with a replication edge, on the fast loopback device.
+MINI_CAPACITY = 1 << 24
+
+
+def mini_fleet(**changes) -> FleetTopology:
+    topology = fleet(
+        "mini-under-test",
+        groups=[
+            group("web", "LOOP", 4, capacity_bytes=MINI_CAPACITY),
+            group("db", "LOOP", 3, capacity_bytes=MINI_CAPACITY),
+            group("mirror", "LOOP", 3, capacity_bytes=MINI_CAPACITY),
+        ],
+        tenants=[
+            tenant("frontend", "web", pattern="randread", io_size=4096,
+                   queue_depth=2, io_count=20),
+            tenant("oltp", "db", pattern="randwrite", io_size=8192,
+                   queue_depth=1, io_count=15),
+        ],
+        edges=[edge("db", "mirror", replication_factor=2)],
+        epoch_us=200.0,
+        seed=5,
+    )
+    return topology.scaled(**changes) if changes else topology
+
+
+def strip_runtime(payload: dict) -> dict:
+    return {key: value for key, value in payload.items() if key != "runtime"}
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+def test_topology_payload_roundtrip_and_canonical():
+    topology = mini_fleet()
+    clone = FleetTopology.from_json(topology.canonical())
+    assert clone == topology
+    assert clone.canonical() == topology.canonical()
+    assert topology.total_devices == 10
+    assert topology.group_indices("db") == [4, 5, 6]
+    assert topology.device_table()[0] == ("web", 0)
+
+
+def test_topology_validation():
+    web = group("web", "LOOP", 2)
+    with pytest.raises(ValueError):  # unknown tenant group
+        fleet("bad", groups=[web], tenants=[tenant("t", "nope", io_count=1)])
+    with pytest.raises(ValueError):  # unknown edge group
+        fleet("bad", groups=[web], edges=[edge("web", "nope")])
+    with pytest.raises(ValueError):  # duplicate group names
+        fleet("bad", groups=[web, group("web", "SSD", 1)])
+    with pytest.raises(ValueError):  # factor exceeds target group size
+        fleet("bad", groups=[web, group("m", "LOOP", 1)],
+              edges=[edge("web", "m", replication_factor=2)])
+    with pytest.raises(ValueError):  # self-edge
+        edge("web", "web")
+    with pytest.raises(ValueError):  # count must be positive
+        group("empty", "LOOP", 0)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+
+def test_partition_covers_every_device_exactly_once():
+    topology = mini_fleet()
+    for shards in (1, 2, 3, 4, 7, 100):
+        plans = partition_topology(topology, shards)
+        indices = [i for plan in plans for i in plan.device_indices]
+        assert sorted(indices) == list(range(topology.total_devices))
+        assert len(plans) == min(shards, topology.total_devices)
+        assert all(plan.device_indices for plan in plans)
+
+
+def test_partition_keeps_replication_edges_intra_shard_when_possible():
+    topology = mini_fleet()
+    # Two clusters ({web}, {db, mirror}) onto two shards: the edge endpoints
+    # must land together.
+    plans = partition_topology(topology, 2)
+    db = set(topology.group_indices("db"))
+    mirror = set(topology.group_indices("mirror"))
+    for plan in plans:
+        owned = set(plan.device_indices)
+        if owned & db:
+            assert db | mirror <= owned
+
+
+def test_partition_is_deterministic():
+    topology = mini_fleet()
+    assert partition_topology(topology, 3) == partition_topology(topology, 3)
+
+
+# ---------------------------------------------------------------------------
+# Serial vs sharded determinism (the seed-hygiene regression test)
+# ---------------------------------------------------------------------------
+
+def test_serial_and_sharded_runs_are_bit_identical():
+    """Metrics must not depend on the shard layout: seeds, replica delivery
+    times, and injection order all derive from logical identities only."""
+    topology = mini_fleet()
+    serial = run_fleet_serial(topology)
+    for shards in (2, 3):
+        sharded = FleetCoordinator(shards=shards, processes=False).run(topology)
+        assert json.dumps(strip_runtime(sharded), sort_keys=True) == \
+            json.dumps(strip_runtime(serial), sort_keys=True)
+
+
+def test_shards_1_is_the_serial_path():
+    topology = mini_fleet()
+    one = FleetCoordinator(shards=1, processes=False).run(topology)
+    serial = run_fleet_serial(topology)
+    assert json.dumps(strip_runtime(one), sort_keys=True) == \
+        json.dumps(strip_runtime(serial), sort_keys=True)
+
+
+def test_process_mode_matches_in_process():
+    topology = mini_fleet()
+    serial = run_fleet_serial(topology)
+    processed = FleetCoordinator(shards=2, processes=True).run(topology)
+    assert json.dumps(strip_runtime(processed), sort_keys=True) == \
+        json.dumps(strip_runtime(serial), sort_keys=True)
+    assert processed["runtime"]["mode"] == "processes"
+    assert processed["runtime"]["shards"] == 2
+
+
+def test_every_tenant_device_pair_gets_a_distinct_seed():
+    """No two (tenant, device) workloads may share an RNG stream."""
+    topology = mini_fleet()
+    worker = ShardWorker(topology, partition_topology(topology, 1)[0])
+    seeds = [run[2].job.seed for run in worker._runs]
+    assert len(seeds) == len(set(seeds)) == 7  # 4 web + 3 db devices
+
+
+# ---------------------------------------------------------------------------
+# Replication edges
+# ---------------------------------------------------------------------------
+
+def test_replication_edge_delivers_quantized_replica_writes():
+    topology = mini_fleet()
+    result = run_fleet_serial(topology)
+    mirror = result["groups"]["mirror"]
+    # Every oltp write (3 devices x 15 I/Os) fans out 2-way.
+    assert mirror["replica_writes"] == 3 * 15 * 2
+    assert mirror["replica_bytes"] == mirror["replica_writes"] * 8192
+    assert mirror["replica_mean_us"] > 0
+    assert result["fleet"]["replica_writes"] == mirror["replica_writes"]
+    # The unreplicated read group absorbed nothing.
+    assert result["groups"]["web"]["replica_writes"] == 0
+
+
+def test_replication_spanning_many_epochs_delivers_every_write():
+    """Writes straddling many epoch barriers must all replicate (regression:
+    the outbound buffer was once rebound at the barrier, orphaning the
+    hook's reference), even for an epoch width with no exact binary
+    representation (regression: an accumulated float barrier drifted off
+    the delivery-quantization grid and scheduled deliveries in the past)."""
+    topology = fleet(
+        "multi-epoch",
+        groups=[
+            group("db", "LOOP", 2, capacity_bytes=MINI_CAPACITY),
+            group("mirror", "LOOP", 2, capacity_bytes=MINI_CAPACITY),
+        ],
+        tenants=[tenant("oltp", "db", pattern="randwrite", io_size=4096,
+                        queue_depth=1, io_count=200, think_time_us=7.0)],
+        edges=[edge("db", "mirror")],
+        epoch_us=33.3,
+        seed=3,
+    )
+    serial = run_fleet_serial(topology)
+    assert serial["runtime"]["epochs"] > 10  # genuinely multi-epoch
+    assert serial["groups"]["mirror"]["replica_writes"] == 2 * 200
+    sharded = FleetCoordinator(shards=3, processes=False).run(topology)
+    assert json.dumps(strip_runtime(sharded), sort_keys=True) == \
+        json.dumps(strip_runtime(serial), sort_keys=True)
+
+
+def test_split_replication_target_group_keeps_replica_stats_identical():
+    """When the partitioner splits a replication *target* group across
+    shards, replica latency must still pool in global-index order
+    (regression: per-group stats merged in shard order perturbed the mean
+    by a few ULPs and broke the bit-identical invariant)."""
+    topology = fleet(
+        "split-target",
+        groups=[
+            group("db", "LOOP", 2, capacity_bytes=MINI_CAPACITY),
+            group("mirror", "LOOP", 3, capacity_bytes=MINI_CAPACITY),
+        ],
+        tenants=[tenant("oltp", "db", pattern="randwrite", io_size=4096,
+                        queue_depth=1, io_count=30)],
+        edges=[edge("db", "mirror", replication_factor=3)],
+        epoch_us=333.3,
+        seed=7,
+    )
+    serial = run_fleet_serial(topology)
+    assert serial["groups"]["mirror"]["replica_writes"] == 2 * 30 * 3
+    for shards in (3, 5):
+        plans = partition_topology(topology, shards)
+        mirror = set(topology.group_indices("mirror"))
+        owners = {plan.shard_id for plan in plans
+                  if set(plan.device_indices) & mirror}
+        assert len(owners) > 1, "topology no longer splits the target group"
+        sharded = FleetCoordinator(shards=shards, processes=False).run(topology)
+        assert json.dumps(strip_runtime(sharded), sort_keys=True) == \
+            json.dumps(strip_runtime(serial), sort_keys=True)
+
+
+def test_misspelled_fleet_axis_is_rejected_not_silently_ignored():
+    with pytest.raises(ValueError, match="epoch_uss"):
+        scenario("x", "d", devices=("fleet",), fleet=mini_fleet(),
+                 grid={"fleet.epoch_uss": (500.0,)}).cells()
+    with pytest.raises(Exception):  # bad group field fails at expansion
+        scenario("x", "d", devices=("fleet",), fleet=mini_fleet(),
+                 grid={"fleet.web.coutn": (8,)}).cells()
+
+
+def test_fleet_without_edges_skips_the_barrier_loop():
+    topology = fleet(
+        "edgeless", groups=[group("g", "LOOP", 3, capacity_bytes=MINI_CAPACITY)],
+        tenants=[tenant("t", "g", pattern="randwrite", io_size=4096,
+                        io_count=10)])
+    serial = run_fleet_serial(topology)
+    sharded = FleetCoordinator(shards=3, processes=False).run(topology)
+    assert serial["runtime"]["epochs"] == 0
+    assert json.dumps(strip_runtime(serial), sort_keys=True) == \
+        json.dumps(strip_runtime(sharded), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Trace-driven tenants
+# ---------------------------------------------------------------------------
+
+def test_trace_tenants_replay_open_loop_and_stay_layout_independent():
+    topology = fleet(
+        "traced",
+        groups=[group("store", "LOOP", 3, capacity_bytes=MINI_CAPACITY)],
+        tenants=[tenant("arrivals", "store", trace="bursty",
+                        duration_us=20_000.0, mean_load_gbps=0.2,
+                        io_size=16384)],
+        seed=9)
+    serial = run_fleet_serial(topology)
+    sharded = FleetCoordinator(shards=3, processes=False).run(topology)
+    assert json.dumps(strip_runtime(serial), sort_keys=True) == \
+        json.dumps(strip_runtime(sharded), sort_keys=True)
+    arrivals = serial["tenants"]["arrivals"]
+    assert arrivals["ios_completed"] > 0
+    assert arrivals["bytes_written"] > 0
+    assert serial["fleet"]["duration_us"] > 0
+
+
+def test_unknown_trace_family_is_rejected():
+    from repro.workload.trace import synthesize_trace
+    with pytest.raises(ValueError):
+        synthesize_trace("nope", duration_us=1000.0)
+
+
+# ---------------------------------------------------------------------------
+# Sweep-layer integration (CellSpec.fleet) and the CLI verb
+# ---------------------------------------------------------------------------
+
+def _register_mini_scenario():
+    spec = scenario(
+        "mini-fleet-under-test", "test-only fleet",
+        devices=("fleet",),
+        fleet=mini_fleet(),
+        grid={"fleet.web.count": (2, 4)},
+    )
+    register(spec, replace=True)
+    return spec
+
+
+def test_fleet_scenario_expands_shape_axes_into_topologies():
+    spec = _register_mini_scenario()
+    cells = spec.cells()
+    assert len(cells) == 2
+    counts = [json.loads(cell.fleet)["groups"][0]["count"] for cell in cells]
+    assert counts == [2, 4]
+    assert [dict(cell.labels)["fleet.web.count"] for cell in cells] == [2, 4]
+    # Fleet axes demand a topology; group fields and tenant knobs resolve.
+    with pytest.raises(ValueError):
+        scenario("x", "d", devices=("fleet",),
+                 grid={"fleet.web.count": (1,)}).cells()
+    with pytest.raises(ValueError):
+        scenario("x", "d", devices=("fleet",), fleet=mini_fleet(),
+                 grid={"fleet.nope.count": (1,)}).cells()
+
+
+def test_fleet_cell_runs_through_sweep_runner_with_cache(tmp_path):
+    spec = _register_mini_scenario()
+    cells = spec.cells()[:1]
+    first = SweepRunner(cache_dir=tmp_path).run_cells(spec.name, cells)
+    second = SweepRunner(cache_dir=tmp_path).run_cells(spec.name, cells)
+    assert first.cache_hits == 0 and second.cache_hits == 1
+    metrics = first.outcomes[0].metrics
+    assert metrics == second.outcomes[0].metrics
+    assert metrics["ios_completed"] > 0
+    assert "runtime" not in metrics["fleet"]  # wall-clock never cached
+    assert run_cell(cells[0]) == run_cell(cells[0])
+
+
+def test_cli_fleet_verb_runs_and_saves_report(tmp_path, capsys):
+    _register_mini_scenario()
+    out = tmp_path / "fleet.json"
+    assert cli_main(["fleet", "mini-fleet-under-test", "--serial",
+                     "--shards", "2", "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "frontend" in printed and "2 shard(s)" in printed
+    reports = json.loads(out.read_text())
+    assert len(reports) == 2
+    assert reports[0]["result"]["fleet"]["ios_completed"] > 0
+    # Unknown scenario and non-fleet scenario fail cleanly.
+    assert cli_main(["fleet", "no-such-scenario"]) == 2
+    assert cli_main(["fleet", "latency-grid"]) == 2
+
+
+def test_registered_fleet_scenarios_are_well_formed():
+    for name in ("fleet-smoke", "datacenter-diurnal"):
+        spec = get_scenario(name)
+        cells = spec.cells()
+        assert cells, name
+        for cell in cells:
+            topology = FleetTopology.from_json(cell.fleet)
+            assert topology.total_devices >= 24
+    smoke = get_scenario("fleet-smoke").cells()[0]
+    assert FleetTopology.from_json(smoke.fleet).total_devices >= 64
+
+
+def test_shard_plan_payload_roundtrip():
+    plan = ShardPlan(shard_id=2, device_indices=(1, 4, 5))
+    assert ShardPlan.from_payload(plan.to_payload()) == plan

@@ -21,6 +21,7 @@ from repro.experiments.sweep import (
     SweepRunner,
     diff_results,
     expand_grid,
+    quick_cells,
     run_cell,
     spec_hash,
 )
@@ -148,6 +149,126 @@ def test_registry_contains_paper_and_characterization_scenarios():
         register(get_scenario("figure2"))
     with pytest.raises(ValueError):
         scenario("x", "d", devices=(), seed_mode="nope")
+
+
+# ---------------------------------------------------------------------------
+# find / diff edge cases
+# ---------------------------------------------------------------------------
+
+def test_find_missing_and_ambiguous_labels_raise():
+    cell_a = CellSpec(device="SSD", io_size=4096, labels=(("qd", 1),))
+    cell_b = CellSpec(device="SSD", io_size=8192, labels=(("qd", 1),))
+    result = SweepResult("s", [CellOutcome(cell_a, {}), CellOutcome(cell_b, {})])
+    with pytest.raises(KeyError):
+        result.find(device="ESSD-1")  # no match
+    with pytest.raises(KeyError, match="2 cells"):
+        result.find(qd=1)  # ambiguous
+    assert result.find(io_size=8192).cell == cell_b
+    empty = SweepResult("empty")
+    with pytest.raises(KeyError):
+        empty.find(device="SSD")
+
+
+def test_diff_handles_mismatched_grids():
+    cell_a = CellSpec(device="SSD", io_size=4096)
+    cell_b = CellSpec(device="SSD", io_size=8192)
+    a = SweepResult("s", [CellOutcome(cell_a, {"throughput_gbps": 1.0})])
+    b = SweepResult("s", [CellOutcome(cell_b, {"throughput_gbps": 2.0})])
+    rows = diff_results(a, b)
+    assert len(rows) == 2
+    # A cell missing on one side reports the present value, no change.
+    by_size = {row["cell"]["io_size"]: row for row in rows}
+    assert by_size[4096]["throughput_gbps_a"] == 1.0
+    assert by_size[4096]["throughput_gbps_b"] is None
+    assert by_size[4096]["relative_change"] is None
+    assert by_size[8192]["throughput_gbps_a"] is None
+    assert by_size[8192]["relative_change"] is None
+
+
+def test_diff_treats_nan_metrics_as_incomparable():
+    import math
+    cell = CellSpec(device="SSD")
+    nan = SweepResult("s", [CellOutcome(cell, {"throughput_gbps": math.nan})])
+    ok = SweepResult("s", [CellOutcome(cell, {"throughput_gbps": 1.0})])
+    for a, b in ((nan, ok), (ok, nan), (nan, nan)):
+        rows = diff_results(a, b)
+        assert rows[0]["relative_change"] is None
+    # A metric key absent from the metrics dict behaves the same way.
+    missing = SweepResult("s", [CellOutcome(cell, {})])
+    assert diff_results(missing, ok)[0]["relative_change"] is None
+
+
+# ---------------------------------------------------------------------------
+# Device-param axes and the trace workload family
+# ---------------------------------------------------------------------------
+
+def test_device_param_axes_route_to_device_params_and_cache_key():
+    spec = scenario("repl-under-test", "d", devices=("ESSD-2",),
+                    base={"pattern": "randwrite", "io_count": 10,
+                          "preload": False},
+                    grid={"replication_factor": (1, 3),
+                          "chunk_size": (512 * KiB,)})
+    cells = spec.cells()
+    assert [dict(cell.device_params)["replication_factor"]
+            for cell in cells] == [1, 3]
+    assert all(dict(cell.device_params)["chunk_size"] == 512 * KiB
+               for cell in cells)
+    # Device params are physics: they must split the cache key.
+    assert cells[0].cache_key() != cells[1].cache_key()
+    assert "replication_factor" not in dict(cells[0].pattern_params)
+
+
+def test_replication_scenario_registered_and_sweeps_the_axis():
+    spec = get_scenario("replication")
+    cells = spec.cells()
+    assert len(cells) == 2 * 3 * 2  # devices x factors x chunk sizes
+    factors = {dict(cell.device_params)["replication_factor"] for cell in cells}
+    assert factors == {1, 2, 3}
+
+
+def test_trace_family_cell_replays_open_loop():
+    cell = CellSpec(device="LOOP", pattern="trace-uniform", io_size=8192,
+                    pattern_params=(("duration_us", 5_000.0),
+                                    ("load_gbps", 0.5)),
+                    preload=False, seed=3)
+    metrics = run_cell(cell)
+    assert metrics["ios_completed"] > 0
+    assert metrics["unfinished"] == 0
+    assert metrics["offered_mean_gbps"] == pytest.approx(0.5, rel=0.15)
+    assert run_cell(cell) == metrics  # deterministic
+    quick = quick_cells([cell])[0]
+    assert dict(quick.pattern_params)["duration_us"] == 5_000.0
+
+
+def test_trace_csv_roundtrip_through_the_family_entry_point(tmp_path):
+    from repro.workload.trace import Trace, synthesize_trace
+
+    trace = synthesize_trace("bursty", duration_us=30_000.0,
+                             mean_load_gbps=0.4, io_size=16384, seed=11)
+    assert len(trace) > 0
+    path = tmp_path / "trace.csv"
+    trace.save_csv(path)
+    loaded = Trace.load_csv(path)
+    assert len(loaded) == len(trace)
+    assert [(e.timestamp_us, e.kind, e.offset, e.size) for e in loaded] == \
+        [(round(e.timestamp_us, 3), e.kind, e.offset, e.size) for e in trace]
+    assert loaded.total_bytes == trace.total_bytes
+
+
+def test_quick_cells_shrink_trace_and_fleet_cells():
+    import json
+    from repro.experiments.sweep import quick_cells as shrink
+
+    trace_cell = CellSpec(device="ESSD-2", pattern="trace-bursty",
+                          pattern_params=(("duration_us", 900_000.0),))
+    quick = shrink([trace_cell])[0]
+    assert dict(quick.pattern_params)["duration_us"] == 100_000.0
+
+    fleet_cell = get_scenario("datacenter-diurnal").cells()[0]
+    quick = shrink([fleet_cell])[0]
+    payload = json.loads(quick.fleet)
+    durations = [t["workload"]["duration_us"] for t in payload["tenants"]]
+    assert all(duration <= 100_000.0 for duration in durations)
 
 
 # ---------------------------------------------------------------------------
