@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate: fresh ``BENCH_*.json`` vs committed baselines.
+
+The benchmark suites (``test_bench_kernel.py``, ``test_bench_fleet.py``)
+write their artifacts to the repository root on every run; the blessed
+numbers live under ``benchmarks/baselines/``.  This script compares the
+tracked metrics and **fails (exit 1) when any of them regresses more than
+the tolerance** (default 10%), printing a delta table and appending a
+markdown copy to ``--summary`` (pass ``$GITHUB_STEP_SUMMARY`` in CI).
+
+Tracked metrics are deliberately host-independent:
+
+* kernel fast/legacy *speedup ratios* -- both kernels run interleaved on
+  the same machine, so the ratio survives slow or noisy CI hosts;
+* fleet *coordination counts* (tasks per simulated second, batching task
+  cut) -- fully deterministic.
+
+Raw wall-clock numbers (events/sec, fleet ``speedup_vs_serial``) are
+recorded in the artifacts for the trajectory but not gated: a single-core
+runner cannot reproduce them.
+
+Updating a baseline is an explicit act: re-run the benchmark suite on a
+quiet machine and copy the artifact into ``benchmarks/baselines/`` in the
+same PR that justifies the change.
+
+Usage::
+
+    python benchmarks/compare_bench.py [--tolerance 0.10]
+        [--baseline-dir benchmarks/baselines] [--current-dir .]
+        [--summary "$GITHUB_STEP_SUMMARY"]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default location of the blessed artifacts.
+BASELINE_DIR = _REPO_ROOT / "benchmarks" / "baselines"
+
+#: (artifact file, dotted metric path, direction).  ``higher`` metrics
+#: regress by falling below baseline * (1 - tolerance), ``lower`` metrics
+#: by rising above baseline * (1 + tolerance).
+TRACKED: tuple[tuple[str, str, str], ...] = (
+    ("BENCH_kernel.json", "events_per_sec.immediate.speedup", "higher"),
+    ("BENCH_kernel.json", "events_per_sec.mixed.speedup", "higher"),
+    ("BENCH_kernel.json", "events_per_sec.timer.speedup", "higher"),
+    ("BENCH_kernel.json", "request_roundtrips_per_sec.speedup", "higher"),
+    ("BENCH_fleet.json", "coordination.task_cut", "higher"),
+    ("BENCH_fleet.json",
+     "coordination.variants.batched.tasks_per_sim_second", "lower"),
+)
+
+
+def lookup(payload: Any, dotted: str) -> Optional[float]:
+    """Resolve ``a.b.c`` through nested dicts; None when any hop is missing."""
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def load_artifact(directory: Path, name: str) -> Optional[dict]:
+    path = directory / name
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+
+
+def compare(baseline_dir: Path, current_dir: Path,
+            tolerance: float) -> tuple[list[dict[str, Any]], int]:
+    """Build one row per tracked metric; return (rows, regression count).
+
+    A missing or unreadable *current* artifact/metric counts as a
+    regression (the gate must not pass vacuously); a missing *baseline*
+    metric is reported as new and passes (commit the fresh artifact as its
+    baseline in the same PR).
+    """
+    rows: list[dict[str, Any]] = []
+    regressions = 0
+    for artifact, metric, direction in TRACKED:
+        base = lookup(load_artifact(baseline_dir, artifact) or {}, metric)
+        current = lookup(load_artifact(current_dir, artifact) or {}, metric)
+        if current is None:
+            status = "MISSING"
+            regressions += 1
+            delta = None
+        elif base is None:
+            status = "new"
+            delta = None
+        elif base == 0:
+            # A zero baseline can never gate anything (every relative
+            # delta would be undefined); refuse it rather than pass
+            # vacuously -- recommit a real baseline.
+            status = "BAD-BASELINE"
+            regressions += 1
+            delta = None
+        else:
+            delta = (current - base) / base
+            regressed = delta < -tolerance if direction == "higher" \
+                else delta > tolerance
+            if regressed:
+                status = "REGRESSED"
+                regressions += 1
+            else:
+                status = "ok"
+        rows.append({
+            "artifact": artifact,
+            "metric": metric,
+            "direction": direction,
+            "baseline": base,
+            "current": current,
+            "delta": delta,
+            "status": status,
+        })
+    return rows, regressions
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def _fmt_delta(row: dict[str, Any]) -> str:
+    if row["delta"] is None:
+        return "-"
+    arrow = "" if row["direction"] == "higher" else " (lower is better)"
+    return f"{row['delta']:+.1%}{arrow}"
+
+
+def render_table(rows: list[dict[str, Any]], markdown: bool = False) -> str:
+    headers = ["metric", "baseline", "current", "delta", "status"]
+    body = [[f"{row['artifact']}:{row['metric']}", _fmt(row["baseline"]),
+             _fmt(row["current"]), _fmt_delta(row), row["status"]]
+            for row in rows]
+    if markdown:
+        lines = ["| " + " | ".join(headers) + " |",
+                 "|" + "|".join("---" for _ in headers) + "|"]
+        lines += ["| " + " | ".join(line) + " |" for line in body]
+        return "\n".join(lines)
+    widths = [max(len(str(line[col])) for line in [headers] + body)
+              for col in range(len(headers))]
+    lines = ["  ".join(str(cell).ljust(width)
+                       for cell, width in zip(line, widths)).rstrip()
+             for line in [headers] + body]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a tracked BENCH_* metric regresses vs the "
+                    "committed baselines.")
+    parser.add_argument("--baseline-dir", type=Path, default=BASELINE_DIR)
+    parser.add_argument("--current-dir", type=Path, default=_REPO_ROOT)
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative regression (default 0.10)")
+    parser.add_argument("--summary", default=None,
+                        help="append a markdown delta table to this file "
+                             "(use $GITHUB_STEP_SUMMARY in CI)")
+    args = parser.parse_args(argv)
+
+    rows, regressions = compare(args.baseline_dir, args.current_dir,
+                                args.tolerance)
+    print(f"benchmark regression gate: tolerance {args.tolerance:.0%}, "
+          f"baselines from {args.baseline_dir}")
+    print(render_table(rows))
+    verdict = "PASS" if regressions == 0 else \
+        f"FAIL ({regressions} tracked metric(s) regressed or missing)"
+    print(verdict)
+
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write("## Benchmark regression gate\n\n")
+            handle.write(render_table(rows, markdown=True))
+            handle.write(f"\n\n**{verdict}** (tolerance "
+                         f"{args.tolerance:.0%})\n")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

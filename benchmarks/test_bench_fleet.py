@@ -1,4 +1,4 @@
-"""Fleet-simulation benchmark: shard-scaling throughput and determinism.
+"""Fleet-simulation benchmark: shard scaling, determinism, coordination.
 
 Runs the registered ``fleet-smoke`` topology (64+ mixed SSD/ESSD devices,
 four tenants, one 2-way replication edge) through the cluster layer at 1,
@@ -13,6 +13,15 @@ the property that makes sharding safe to use at all.  Wall-clock speedup
 and scaling efficiency are *recorded* in ``BENCH_fleet.json`` (with the
 host's CPU count for context) rather than gated hard: a single-core CI
 machine cannot speed up, it can only stay within the overhead floor.
+
+A second section measures **multi-epoch batching** on the trace-driven
+``datacenter-diurnal`` fleet (steady replica traffic over many epochs):
+``run_ahead=1`` reproduces one coordinator task per shard per busy epoch,
+the default run-ahead window collapses that to one per window.  The gates:
+bit-identical payloads between the two, and a strict cut in coordination
+tasks per simulated second -- both counts are deterministic, so the
+committed baseline (see ``benchmarks/compare_bench.py``) holds future PRs
+to the batching win independent of host speed.
 """
 
 from __future__ import annotations
@@ -23,7 +32,9 @@ import time
 from pathlib import Path
 
 from repro.cluster import FleetCoordinator, FleetTopology
+from repro.cluster.coordinator import DEFAULT_RUN_AHEAD
 from repro.experiments.scenarios import get_scenario
+from repro.experiments.sweep import quick_cells
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 ARTIFACT = _REPO_ROOT / "BENCH_fleet.json"
@@ -44,6 +55,59 @@ def _run(topology: FleetTopology, shards: int) -> tuple[dict, float]:
     started = time.perf_counter()
     payload = coordinator.run(topology)
     return payload, time.perf_counter() - started
+
+
+def _coordination_section() -> dict:
+    """Batched vs per-epoch coordination on the datacenter-diurnal fleet.
+
+    Runs the (quick-shrunk) trace-driven topology at 2 in-process shards
+    with ``run_ahead=1`` (one task per shard per busy epoch -- the
+    pre-batching behavior) and with the default run-ahead window, asserts
+    the payloads are bit-identical, and reports the deterministic
+    coordination-task counts normalised per simulated second.
+    """
+    cell = quick_cells(get_scenario("datacenter-diurnal").cells())[0]
+    topology = FleetTopology.from_json(cell.fleet)
+    assert topology.edges, "datacenter-diurnal lost its replication edge"
+
+    variants = {}
+    payloads = {}
+    for label, run_ahead in (("per-epoch", 1), ("batched", DEFAULT_RUN_AHEAD)):
+        coordinator = FleetCoordinator(shards=2, processes=False,
+                                       run_ahead=run_ahead)
+        payload = coordinator.run(topology)
+        runtime = payload["runtime"]
+        assert runtime["batched"], \
+            "partition no longer keeps the mirror edge intra-shard"
+        sim_seconds = payload["fleet"]["duration_us"] / 1e6
+        variants[label] = {
+            "run_ahead": run_ahead,
+            "epochs": runtime["epochs"],
+            "coordinator_rounds": runtime["coordinator_rounds"],
+            "coordination_tasks": runtime["coordination_tasks"],
+            "tasks_per_sim_second": round(
+                runtime["coordination_tasks"] / sim_seconds, 2)
+            if sim_seconds > 0 else 0.0,
+        }
+        payloads[label] = _strip_runtime(payload)
+
+    # Hard gates: batching must not change the physics, and it must cut
+    # coordination traffic (both counts are deterministic).
+    assert json.dumps(payloads["batched"], sort_keys=True) == \
+        json.dumps(payloads["per-epoch"], sort_keys=True), \
+        "run-ahead batching changed the fleet metrics"
+    assert variants["batched"]["coordination_tasks"] < \
+        variants["per-epoch"]["coordination_tasks"], variants
+
+    per_epoch = variants["per-epoch"]["coordination_tasks"]
+    batched = variants["batched"]["coordination_tasks"]
+    return {
+        "topology": topology.name,
+        "devices": topology.total_devices,
+        "replica_writes": payloads["batched"]["fleet"]["replica_writes"],
+        "variants": variants,
+        "task_cut": round(per_epoch / batched, 3) if batched else 0.0,
+    }
 
 
 def test_fleet_shard_scaling_and_artifact():
@@ -87,16 +151,20 @@ def test_fleet_shard_scaling_and_artifact():
     for shards in SHARD_COUNTS:
         run = runs[shards]
         speedup = serial_wall / run["wall_s"] if run["wall_s"] > 0 else 0.0
+        runtime = run["payload"]["runtime"]
         payload["shards"][str(shards)] = {
             "wall_s": round(run["wall_s"], 4),
             "events": run["events"],
             "events_per_sec": round(run["events"] / run["wall_s"])
             if run["wall_s"] > 0 else 0,
             "epochs": run["epochs"],
+            "coordinator_rounds": runtime["coordinator_rounds"],
+            "coordination_tasks": runtime["coordination_tasks"],
             "speedup_vs_serial": round(speedup, 3),
             "scaling_efficiency": round(speedup / shards, 3),
         }
     payload["headline_speedup"] = payload["shards"]["4"]["speedup_vs_serial"]
+    payload["coordination"] = _coordination_section()
 
     ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nfleet shard-scaling benchmark -> {ARTIFACT.name}")

@@ -8,16 +8,19 @@ pre-refactor scheduler) on four workloads:
   immediately-succeeding bookkeeping events, the fast path's target domain.
 * ``mixed`` -- the device-model shape: grants, zero-delay relays, and
   non-zero service timeouts interleaved.
-* ``timer`` -- pure non-zero timeouts (heap-dominated; pooling is the only
-  fast-path lever here).
+* ``timer`` -- pure non-zero timeouts: the timer wheel's target domain
+  (same-deadline timeouts land in O(1) wheel slots instead of paying a
+  heap push each).
 * ``roundtrip`` -- full ``IORequest`` round trips through a
   :class:`LoopbackDevice` behind the FIO runner: the whole submission path.
 
 Results (including the fast/legacy speedup per workload) are written to
 ``BENCH_kernel.json`` at the repository root so the perf trajectory is
-tracked across PRs.  The hard gate: the ``immediate`` workload must show a
->= 2x events/sec speedup; the other workloads have softer floors sized for
-noisy CI machines.
+tracked across PRs.  The in-test floors below are sized for noisy CI
+machines; the committed baselines under ``benchmarks/baselines/`` are what
+``benchmarks/compare_bench.py`` gates against (>10% regression fails), so
+the recorded >=2.5x mixed/timer speedups are the numbers future PRs are
+held to.
 """
 
 from __future__ import annotations
@@ -35,8 +38,10 @@ ARTIFACT = _REPO_ROOT / "BENCH_kernel.json"
 
 #: Timing repetitions per (workload, kernel); fast/legacy runs interleave
 #: and the best of each is recorded, so host-speed drift during the
-#: benchmark hits both kernels instead of skewing the ratio.
-REPEATS = 3
+#: benchmark hits both kernels instead of skewing the ratio.  Five
+#: repetitions keep the best-of ratio stable enough for the 10%
+#: compare_bench regression band even on noisy CI runners.
+REPEATS = 5
 
 
 def _one_rate(build, fast_path: bool) -> float:
@@ -150,10 +155,14 @@ def test_kernel_fast_path_speedup_and_artifact():
     print(f"\nkernel microbenchmark -> {ARTIFACT.name}")
     print(json.dumps(payload, indent=2, sort_keys=True))
 
-    # The acceptance gate: >= 2x events/sec on immediately-succeeding events.
+    # The acceptance gate: >= 2x events/sec on immediately-succeeding
+    # events.  The timer wheel lifts mixed/timer to ~2.5-2.7x on an idle
+    # 3.11 host -- that trajectory is held by the committed baselines +
+    # compare_bench.py (gated on the baseline's interpreter only); the
+    # floors here run on *every* matrix interpreter, so they stay loose
+    # enough to survive version-to-version ratio drift and only catch a
+    # wholesale regression of the wheel/fast path.
     assert events["immediate"]["speedup"] >= 2.0, payload
-    # Softer floors (CI-noise headroom) for the broader shapes: the fast
-    # path must never be a regression and should clearly win the mixed case.
-    assert events["mixed"]["speedup"] >= 1.25, payload
-    assert events["timer"]["speedup"] >= 1.0, payload
+    assert events["mixed"]["speedup"] >= 1.5, payload
+    assert events["timer"]["speedup"] >= 1.5, payload
     assert roundtrips["speedup"] >= 1.05, payload

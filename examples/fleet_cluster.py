@@ -36,6 +36,21 @@ preload=True)``
     target group.  Deliveries are quantized to the topology's
     ``epoch_us`` window, which is also the shard synchronization barrier.
 
+Run-ahead windows
+-----------------
+The coordinator synchronizes shards on the ``epoch_us`` barrier, but it
+only needs a barrier *per epoch* when a replication edge actually spans
+two shards.  The device-affinity partitioner keeps edge clusters together
+whenever the shard count allows, and every shard whose edges are fully
+intra-shard self-delivers its own replica traffic -- so the coordinator
+grants those shards a **run-ahead window** of ``run_ahead`` epochs (default
+16) per task instead of one.  On long trace-driven fleets this cuts
+coordination tasks per simulated second by roughly the window size (see
+``BENCH_fleet.json``'s ``coordination`` section); metrics stay
+bit-identical for every ``run_ahead`` value, ``run_ahead=1`` restores the
+per-epoch barrier, and ``runtime["coordinator_rounds"]`` /
+``runtime["coordination_tasks"]`` report what a run actually spent.
+
 CLI
 ---
 Registered fleet scenarios (see ``python -m repro.experiments list``, tag
@@ -45,10 +60,16 @@ Registered fleet scenarios (see ``python -m repro.experiments list``, tag
     python -m repro.experiments fleet fleet-smoke --shards 4      # sharded
     python -m repro.experiments fleet datacenter-diurnal --quick
     python -m repro.experiments fleet fleet-smoke --shards 4 --out report.json
+    python -m repro.experiments fleet fleet-smoke --run-ahead 1   # per-epoch
 
-``--shards 1`` *is* the serial path; any ``--shards N`` produces the same
-fleet metrics (only the ``runtime`` section -- wall clock, events/sec,
-partition -- differs).
+``--shards 1`` *is* the serial path; any ``--shards N`` (and any
+``--run-ahead``) produces the same fleet metrics (only the ``runtime``
+section -- wall clock, events/sec, coordination, partition -- differs).
+Deterministic fleet metrics cache under ``$REPRO_SWEEP_CACHE`` (default
+``.sweep-cache``) exactly like ``run`` sweeps: shard count and run-ahead
+are excluded from the cache key, ``--force`` re-runs, ``--no-cache``
+disables.  ``run <scenario> --shards N`` nests the same sharding inside
+the sweep pool for scenarios whose cells carry fleets.
 """
 
 from repro.cluster import (

@@ -6,21 +6,31 @@ are placed onto the least-loaded shard first (so edges stay intra-shard
 whenever the cluster count allows), and only when shards would otherwise
 sit empty is a shard's device list split at device granularity.
 
-Execution (:class:`FleetCoordinator`) is a conservative time-window loop:
+Execution (:class:`FleetCoordinator`) is a conservative time-window loop
+with two gears:
 
-1. every shard advances to the same epoch barrier, buffering the replica
-   messages its tenants emitted;
-2. the coordinator routes each message to the shard owning its target
-   device (messages are quantized to the *next* epoch boundary, so a
-   message collected at barrier ``B`` is never scheduled before ``B``);
-3. inboxes are sorted by the layout-independent key ``(delivery_us,
-   origin_index, origin_seq)`` and injected before the next epoch.
+* **Batched run-ahead** -- when the partition keeps every replication edge
+  intra-shard (the common case: device-affinity placement glues edge
+  clusters together), no shard can ever emit cross-shard replica traffic,
+  so the coordinator grants each shard a window of ``run_ahead`` epochs
+  per task.  Shards step barrier-to-barrier internally, self-delivering
+  their own replica messages (see
+  :meth:`~repro.cluster.shard.ShardWorker.advance`), and the coordinator
+  only rendezvouses once per window: coordination drops from one task per
+  shard per busy epoch to one per shard per ``run_ahead`` window.
+* **Lockstep** -- when a split edge couples two shards, every shard
+  advances to the same barrier per task; emitted messages are routed to
+  the shard owning the target device and handed over exactly at their
+  ``delivery_epoch`` barrier, sorted by the layout-independent key
+  ``(delivery_us, origin_index, origin_seq)``.
 
-Because seeds, replica delivery times, and injection order all derive from
-logical identities (never from the shard layout), ``shards=1`` is
-bit-identical to any ``shards=N`` run -- and ``shards=1`` in-process *is*
-the serial path.  Topologies without replication edges skip the barrier
-loop entirely: each shard drains to completion in a single advance.
+In both gears a message is injected when its shard's clock sits exactly on
+the delivery barrier.  Because seeds, replica delivery times, and
+injection order all derive from logical identities (never from the shard
+layout or the granted windows), ``shards=1`` is bit-identical to any
+``shards=N`` run -- and ``shards=1`` in-process *is* the serial path.
+Topologies without replication edges skip the barrier loop entirely: each
+shard drains to completion in a single advance.
 
 Process mode reuses the ``SweepRunner`` patterns (persistent
 ``ProcessPoolExecutor``, derived seeds), with one twist: each shard gets a
@@ -45,6 +55,7 @@ from repro.cluster.shard import (
     _worker_advance,
     _worker_collect,
     _worker_init,
+    inbox_order,
 )
 from repro.cluster.topology import FleetTopology
 
@@ -53,11 +64,12 @@ __all__ = ["partition_topology", "FleetCoordinator", "run_fleet_serial"]
 #: Safety bound on executed (non-skipped) epochs per run.
 MAX_EPOCHS = 200_000
 
+#: Default run-ahead window (epochs granted per task) for self-contained
+#: shards.
+DEFAULT_RUN_AHEAD = 16
 
-def _inbox_order(message: ReplicaMessage) -> tuple:
-    """Injection order for same-barrier messages: the documented
-    layout-independent identity key (see :class:`ReplicaMessage`)."""
-    return (message.delivery_us, message.origin_index, message.origin_seq)
+#: Backwards-compatible alias (the key moved next to ReplicaMessage).
+_inbox_order = inbox_order
 
 
 # ---------------------------------------------------------------------------
@@ -132,9 +144,16 @@ class _LocalShards:
 
     def advance_all(self, until_us: Optional[float],
                     inboxes: Sequence[list[ReplicaMessage]],
-                    ) -> list[tuple[list[ReplicaMessage], float]]:
-        return [worker.advance(until_us, inbox)
+                    self_deliver: bool = False,
+                    ) -> list[tuple[list[ReplicaMessage], float, int]]:
+        return [worker.advance(until_us, inbox, self_deliver)
                 for worker, inbox in zip(self.workers, inboxes)]
+
+    def advance_subset(self, shard_ids: Sequence[int],
+                       until_us: Optional[float], self_deliver: bool = False,
+                       ) -> list[tuple[list[ReplicaMessage], float, int]]:
+        return [self.workers[sid].advance(until_us, None, self_deliver)
+                for sid in shard_ids]
 
     def collect_all(self) -> list[dict[str, Any]]:
         return [worker.collect() for worker in self.workers]
@@ -160,9 +179,18 @@ class _ProcessShards:
 
     def advance_all(self, until_us: Optional[float],
                     inboxes: Sequence[list[ReplicaMessage]],
-                    ) -> list[tuple[list[ReplicaMessage], float]]:
-        futures = [pool.submit(_worker_advance, until_us, inbox)
+                    self_deliver: bool = False,
+                    ) -> list[tuple[list[ReplicaMessage], float, int]]:
+        futures = [pool.submit(_worker_advance, until_us, inbox, self_deliver)
                    for pool, inbox in zip(self.pools, inboxes)]
+        return [future.result() for future in futures]
+
+    def advance_subset(self, shard_ids: Sequence[int],
+                       until_us: Optional[float], self_deliver: bool = False,
+                       ) -> list[tuple[list[ReplicaMessage], float, int]]:
+        futures = [self.pools[sid].submit(_worker_advance, until_us, [],
+                                          self_deliver)
+                   for sid in shard_ids]
         return [future.result() for future in futures]
 
     def collect_all(self) -> list[dict[str, Any]]:
@@ -197,24 +225,32 @@ class FleetCoordinator:
         serial path use it directly.
     epoch_us:
         Override the topology's conservative synchronization window.
+    run_ahead:
+        Epochs granted per coordinator task when the partition keeps every
+        replication edge intra-shard (see the module docstring).
+        ``run_ahead=1`` restores one-task-per-busy-epoch coordination.
     """
 
     def __init__(self, shards: int = 1, processes: Optional[bool] = None,
                  epoch_us: Optional[float] = None,
-                 max_epochs: int = MAX_EPOCHS):
+                 max_epochs: int = MAX_EPOCHS,
+                 run_ahead: int = DEFAULT_RUN_AHEAD):
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if run_ahead < 1:
+            raise ValueError("run_ahead must be >= 1")
         self.shards = shards
         self.processes = (shards > 1) if processes is None else processes
         self.epoch_us = epoch_us
         self.max_epochs = max_epochs
+        self.run_ahead = run_ahead
 
     def run(self, topology: FleetTopology) -> dict[str, Any]:
         """Execute the fleet and return the merged metrics payload.
 
         The payload's ``fleet`` / ``tenants`` / ``groups`` sections are
-        bit-identical across shard counts and execution modes; wall-clock
-        and event-throughput data live under ``runtime``.
+        bit-identical across shard counts, execution modes, and run-ahead
+        windows; wall-clock and coordination data live under ``runtime``.
         """
         if self.epoch_us is not None:
             topology = topology.scaled(epoch_us=self.epoch_us)
@@ -225,12 +261,23 @@ class FleetCoordinator:
         backend = _ProcessShards(topology, plans) if self.processes \
             else _LocalShards(topology, plans)
         epochs = 0
+        rounds = 0
+        tasks = 0
+        batched = False
         try:
             if not topology.edges:
                 # No cross-device dependencies: each shard drains in one go.
                 backend.advance_all(None, [[] for _ in plans])
+                rounds = 1
+                tasks = len(plans)
+            elif self._edges_shard_local(topology, owner):
+                batched = True
+                epochs, rounds, tasks = self._run_batched(topology, plans,
+                                                          backend)
             else:
-                epochs = self._run_epochs(topology, plans, owner, backend)
+                epochs, rounds = self._run_lockstep(topology, plans, owner,
+                                                    backend)
+                tasks = rounds * len(plans)
             payloads = backend.collect_all()
             events = backend.scheduled_events()
         finally:
@@ -241,6 +288,10 @@ class FleetCoordinator:
             "shards": len(plans),
             "mode": "processes" if self.processes else "in-process",
             "epochs": epochs,
+            "batched": batched,
+            "run_ahead": self.run_ahead,
+            "coordinator_rounds": rounds,
+            "coordination_tasks": tasks,
             "wall_s": wall_s,
             "scheduled_events": events,
             "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
@@ -249,45 +300,127 @@ class FleetCoordinator:
         }
         return result
 
-    def _run_epochs(self, topology: FleetTopology, plans, owner, backend) -> int:
-        """The conservative epoch-barrier loop (topologies with edges)."""
+    @staticmethod
+    def _edges_shard_local(topology: FleetTopology,
+                           owner: dict[int, int]) -> bool:
+        """Whether every replication edge's source *and* target devices
+        landed on a single shard -- the precondition for run-ahead: no
+        shard can ever emit a cross-shard replica message."""
+        for edge in topology.edges:
+            touched = {owner[index]
+                       for index in topology.group_indices(edge.source)}
+            touched.update(owner[index]
+                           for index in topology.group_indices(edge.target))
+            if len(touched) > 1:
+                return False
+        return True
+
+    def _run_batched(self, topology: FleetTopology, plans,
+                     backend) -> tuple[int, int, int]:
+        """Grant every (self-contained) shard ``run_ahead`` epochs per
+        task; shards self-deliver intra-shard replica traffic and skip
+        idle epochs internally.  A shard reporting ``peek == inf`` is
+        drained for good (nothing can revive it without cross-shard
+        traffic) and receives no further tasks.  Returns
+        ``(epochs, rounds, tasks)``."""
         epoch_us = topology.epoch_us
-        inboxes: list[list[ReplicaMessage]] = [[] for _ in plans]
+        executed = [0] * len(plans)
         peeks = [0.0] * len(plans)
-        #: Barrier position as an *integer* epoch index.  The barrier time is
-        #: always computed as ``index * epoch_us`` -- the exact same
-        #: float-multiplication grid the replication hook quantizes delivery
-        #: times onto.  Accumulating ``barrier += epoch_us`` instead would
-        #: drift off that grid for epochs not exactly representable in
-        #: binary, leaving a collected message's delivery in the past.
         index = 0
-        epochs = 0
+        rounds = 0
+        tasks = 0
         while True:
-            if any(inboxes):
-                index += 1
-            else:
-                next_event = min(peeks)
-                if next_event == math.inf:
-                    return epochs
-                # Skip whole idle epochs: jump straight to the barrier just
-                # past the earliest pending event.  The advance window still
-                # spans at most one epoch of *activity*, so every emitted
-                # message remains deliverable at a future barrier.
-                index = max(index + 1,
-                            math.floor(next_event / epoch_us) + 1)
-            epochs += 1
-            if epochs > self.max_epochs:
+            active = [sid for sid, peek in enumerate(peeks)
+                      if peek != math.inf]
+            if not active:
+                return max(executed), rounds, tasks
+            # Idle skip across windows: start the next grant at the epoch
+            # holding the earliest pending event anywhere in the fleet.
+            start = max(index, math.floor(min(peeks[sid] for sid in active)
+                                          / epoch_us))
+            index = start + self.run_ahead
+            rounds += 1
+            tasks += len(active)
+            results = backend.advance_subset(active, index * epoch_us,
+                                             self_deliver=True)
+            for sid, (outbound, peek, ran) in zip(active, results):
+                if outbound:  # pragma: no cover - guarded by _edges_shard_local
+                    raise RuntimeError(
+                        f"self-contained shard {sid} emitted a cross-shard "
+                        "replica message")
+                executed[sid] += ran
+                peeks[sid] = peek
+            if max(executed) > self.max_epochs:
                 raise RuntimeError(
                     f"fleet {topology.name!r} exceeded {self.max_epochs} "
                     f"epochs (epoch_us={epoch_us}); raise epoch_us or "
                     "max_epochs")
-            handoff = [sorted(inbox, key=_inbox_order) for inbox in inboxes]
-            inboxes = [[] for _ in plans]
-            results = backend.advance_all(index * epoch_us, handoff)
-            for sid, (outbound, peek) in enumerate(results):
+
+    def _run_lockstep(self, topology: FleetTopology, plans, owner,
+                      backend) -> tuple[int, int]:
+        """The conservative epoch-barrier loop for partitions where a
+        replication edge spans shards.  Collected messages wait at the
+        coordinator until the barrier matching their ``delivery_epoch``;
+        every shard then receives them with its clock sitting exactly on
+        that barrier.  Returns ``(epochs, rounds)``."""
+        epoch_us = topology.epoch_us
+        pending: list[list[ReplicaMessage]] = [[] for _ in plans]
+        peeks = [0.0] * len(plans)
+        #: Barrier position as an *integer* epoch index.  The barrier time
+        #: is always computed as ``index * epoch_us`` -- the exact same
+        #: float-multiplication grid the replication hook quantizes
+        #: delivery times onto.  Accumulating ``barrier += epoch_us``
+        #: instead would drift off that grid for epochs not exactly
+        #: representable in binary, leaving a collected message's delivery
+        #: in the past.
+        position = 0
+        rounds = 0
+        while True:
+            handoff: list[list[ReplicaMessage]] = [[] for _ in plans]
+            future = math.inf
+            due = False
+            for sid, inbox in enumerate(pending):
+                keep = []
+                for message in inbox:
+                    if message.delivery_epoch == position:
+                        handoff[sid].append(message)
+                        due = True
+                    else:
+                        keep.append(message)
+                        if message.delivery_epoch < future:
+                            future = message.delivery_epoch
+                pending[sid] = keep
+            targets = []
+            if due:
+                # Deliveries inject at the current barrier; their writes
+                # start here, so the next window spans one epoch.
+                targets.append(position + 1)
+            if future != math.inf:
+                targets.append(int(future))
+            min_peek = min(peeks)
+            if min_peek != math.inf:
+                # Skip whole idle epochs: jump straight to the barrier just
+                # past the earliest pending event.  The advance window still
+                # spans at most one epoch of *activity*, so every emitted
+                # message remains deliverable at a future barrier.
+                targets.append(max(position + 1,
+                                   math.floor(min_peek / epoch_us) + 1))
+            if not targets:
+                return rounds, rounds
+            rounds += 1
+            if rounds > self.max_epochs:
+                raise RuntimeError(
+                    f"fleet {topology.name!r} exceeded {self.max_epochs} "
+                    f"epochs (epoch_us={epoch_us}); raise epoch_us or "
+                    "max_epochs")
+            position = min(targets)
+            results = backend.advance_all(
+                position * epoch_us,
+                [sorted(inbox, key=inbox_order) for inbox in handoff])
+            for sid, (outbound, peek, _ran) in enumerate(results):
                 peeks[sid] = peek
                 for message in outbound:
-                    inboxes[owner[message.target_index]].append(message)
+                    pending[owner[message.target_index]].append(message)
 
 
 def run_fleet_serial(topology: FleetTopology) -> dict[str, Any]:

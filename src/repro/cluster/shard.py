@@ -7,15 +7,23 @@ from the tenant/device identity so the shard layout cannot change any RNG
 stream), and then advances in **bounded time epochs**:
 
 * :meth:`ShardWorker.advance` first injects the inbound replica messages
-  handed over by the coordinator (scheduling each delivery at its quantized
-  timestamp), then runs its simulator up to the epoch barrier, and returns
-  the replica messages its own tenants emitted during the window.
+  handed over by the coordinator (each exactly at its delivery barrier),
+  then runs its simulator up to the epoch barrier, and returns the replica
+  messages its own tenants emitted during the window.
 * Replica deliveries are quantized to the *next* ``epoch_us`` boundary
-  after the originating write completes, so a message emitted inside epoch
+  after the originating write completes (``delivery_epoch`` carries the
+  boundary as an exact integer index), so a message emitted inside epoch
   ``k`` is always deliverable at or after the barrier ``(k+1) * epoch_us``
   where the coordinator collects it -- the conservative-synchronization
   invariant that lets shards run an epoch in parallel without ever sending
   a message into another shard's past.
+* Every message is *injected* exactly when its shard's clock sits on the
+  delivery barrier, sorted by the layout-independent
+  :func:`inbox_order` key.  Injection timing therefore never depends on
+  which windows the coordinator happened to grant, which is what lets a
+  **self-delivering** shard (``advance(..., self_deliver=True)``) consume
+  its own intra-shard replica traffic across a multi-epoch run-ahead
+  window and still stay bit-identical to the coordinator-mediated path.
 
 The module-level ``_worker_*`` functions are the process-pool entry points:
 the coordinator gives each shard a dedicated single-worker
@@ -39,7 +47,7 @@ from repro.cluster.topology import (
 from repro.determinism import derive_seed
 from repro.host.io import IOKind, IORequest
 
-__all__ = ["ReplicaMessage", "ShardPlan", "ShardWorker"]
+__all__ = ["ReplicaMessage", "ShardPlan", "ShardWorker", "inbox_order"]
 
 
 class ReplicaMessage(NamedTuple):
@@ -50,6 +58,10 @@ class ReplicaMessage(NamedTuple):
     shard the device lands on, so sorting inbound messages by
     ``(delivery_us, origin_index, origin_seq)`` yields the same submission
     order in every layout -- the key to bit-identical sharded runs.
+
+    ``delivery_epoch`` is the delivery barrier as an exact integer epoch
+    index (``delivery_us == delivery_epoch * epoch_us``): barrier
+    comparisons stay integral instead of trusting float equality.
     """
 
     delivery_us: float
@@ -58,6 +70,13 @@ class ReplicaMessage(NamedTuple):
     size: int
     origin_index: int
     origin_seq: int
+    delivery_epoch: int
+
+
+def inbox_order(message: ReplicaMessage) -> tuple:
+    """Injection order for same-barrier messages: the documented
+    layout-independent identity key (see :class:`ReplicaMessage`)."""
+    return (message.delivery_us, message.origin_index, message.origin_seq)
 
 
 @dataclass(frozen=True)
@@ -100,6 +119,13 @@ class ShardWorker:
         self._placement: dict[int, tuple[str, int]] = {}
         self._outbound: list[ReplicaMessage] = []
         self._origin_seq: dict[int, int] = {}
+        #: Intra-shard replica messages waiting for their delivery barrier
+        #: (self-delivery mode); persists across advance() calls.
+        self._held: list[ReplicaMessage] = []
+        #: The epoch barrier index this shard's clock sits on (self-delivery
+        #: mode runs the simulator barrier-to-barrier, so ``sim.now ==
+        #: _position * epoch_us`` between windows).
+        self._position = 0
         #: target device global index (as str) -> inbound replica stats.
         #: Keyed per *device*, not per group: a split target group would
         #: otherwise pool samples in shard order and break the bit-identical
@@ -180,7 +206,8 @@ class ShardWorker:
             if request.kind is not IOKind.WRITE:
                 return
             now = self.sim.now
-            delivery = (math.floor(now / epoch_us) + 1) * epoch_us
+            epoch = math.floor(now / epoch_us) + 1
+            delivery = epoch * epoch_us
             for indices, factor in routes:
                 for replica in range(factor):
                     target = indices[(local_index + replica) % len(indices)]
@@ -192,7 +219,8 @@ class ShardWorker:
                     self._outbound.append(ReplicaMessage(
                         delivery_us=delivery, target_index=target,
                         offset=request.offset, size=request.size,
-                        origin_index=origin_index, origin_seq=seq))
+                        origin_index=origin_index, origin_seq=seq,
+                        delivery_epoch=epoch))
         return hook
 
     # -- epoch stepping ----------------------------------------------------
@@ -218,20 +246,76 @@ class ShardWorker:
 
     def advance(self, until_us: Optional[float],
                 inbound: Optional[list[ReplicaMessage]] = None,
-                ) -> tuple[list[ReplicaMessage], float]:
-        """Deliver ``inbound``, run up to ``until_us``, return (outbound, peek).
+                self_deliver: bool = False,
+                ) -> tuple[list[ReplicaMessage], float, int]:
+        """Deliver ``inbound``, run up to ``until_us``; return
+        ``(outbound, peek, epochs)``.
 
         ``until_us=None`` drains the schedule completely (the no-edges fast
-        path).  ``peek`` is the time of the next still-pending event
-        (``inf`` when the shard is idle) -- the coordinator uses the fleet
-        minimum to skip over empty epochs.
+        path).  ``peek`` is the time of the next still-pending event or
+        held delivery (``inf`` when the shard is idle) -- the coordinator
+        uses the fleet minimum to skip over empty epochs.
+
+        With ``self_deliver=True`` the shard advances **barrier to
+        barrier** inside the granted window, injecting its own intra-shard
+        replica messages exactly at their delivery barriers (sorted by
+        :func:`inbox_order`) and skipping idle epochs, so a self-contained
+        shard needs one coordinator task per run-ahead window instead of
+        one per busy epoch.  Messages for foreign devices are returned
+        (the coordinator only grants run-ahead windows to shards that can
+        never emit one).  ``epochs`` counts the barrier windows executed.
         """
         if inbound:
             self.deliver(inbound)
-        self.sim.run(until=until_us)
-        outbound = list(self._outbound)
-        self._outbound.clear()
-        return outbound, self.sim.peek()
+        if not self_deliver:
+            self.sim.run(until=until_us)
+            outbound = list(self._outbound)
+            self._outbound.clear()
+            return outbound, self.sim.peek(), (0 if until_us is None else 1)
+
+        epoch_us = self.topology.epoch_us
+        executed = 0
+        foreign: list[ReplicaMessage] = []
+        while True:
+            due = [message for message in self._held
+                   if message.delivery_epoch == self._position]
+            if due:
+                self._held = [message for message in self._held
+                              if message.delivery_epoch != self._position]
+                due.sort(key=inbox_order)
+                self.deliver(due)
+            targets = []
+            if due:
+                targets.append(self._position + 1)
+            if self._held:
+                targets.append(min(message.delivery_epoch
+                                   for message in self._held))
+            peek = self.sim.peek()
+            if peek != math.inf:
+                # Jump straight past idle epochs, but never span more than
+                # one epoch of activity (emissions must stay deliverable at
+                # a future barrier).
+                targets.append(max(self._position + 1,
+                                   math.floor(peek / epoch_us) + 1))
+            if not targets:
+                break
+            next_index = min(targets)
+            barrier = next_index * epoch_us
+            if until_us is not None and barrier > until_us:
+                break  # run-ahead window exhausted; resume next task
+            self.sim.run(until=barrier)
+            self._position = next_index
+            executed += 1
+            for message in self._outbound:
+                if message.target_index in self.devices:
+                    self._held.append(message)
+                else:
+                    foreign.append(message)
+            self._outbound.clear()
+        peek = self.sim.peek()
+        for message in self._held:
+            peek = min(peek, message.delivery_us)
+        return foreign, peek, executed
 
     # -- collection --------------------------------------------------------
     def collect(self) -> dict[str, Any]:
@@ -295,9 +379,10 @@ def _worker_init(topology_json: str, plan_payload: dict) -> int:
 
 def _worker_advance(until_us: Optional[float],
                     inbound: list[ReplicaMessage],
-                    ) -> tuple[list[ReplicaMessage], float]:
+                    self_deliver: bool = False,
+                    ) -> tuple[list[ReplicaMessage], float, int]:
     assert _WORKER is not None, "shard worker not initialised"
-    return _WORKER.advance(until_us, inbound)
+    return _WORKER.advance(until_us, inbound, self_deliver)
 
 
 def _worker_collect() -> dict[str, Any]:

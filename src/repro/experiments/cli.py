@@ -11,12 +11,14 @@ Usage (module entry point)::
 
 ``run`` executes a registered scenario through :class:`SweepRunner`
 (parallel across worker processes by default), caches per-cell JSON results
-under ``--cache-dir`` (default ``.sweep-cache`` or ``$REPRO_SWEEP_CACHE``),
-prints a metrics table, and optionally saves the whole sweep to ``--out``.
+under ``--cache-dir`` (default ``$REPRO_SWEEP_CACHE`` or ``.sweep-cache``),
+prints a metrics table, and optionally saves the whole sweep to ``--out``;
+``--shards N`` additionally shards any fleet cells inside the pool.
 ``fleet`` runs a fleet scenario through the sharded cluster layer
-(:mod:`repro.cluster`): ``--shards 1`` is the serial reference path and any
-``--shards N`` produces bit-identical fleet metrics. ``diff`` compares two
-saved sweeps cell-by-cell.
+(:mod:`repro.cluster`) with the same result caching: ``--shards 1`` is the
+serial reference path, any ``--shards N`` / ``--run-ahead K`` produces
+bit-identical fleet metrics (so neither enters the cache key). ``diff``
+compares two saved sweeps cell-by-cell.
 """
 
 from __future__ import annotations
@@ -32,9 +34,10 @@ from repro.experiments import table1
 from repro.experiments.common import format_table
 from repro.experiments.scenarios import all_scenarios, get_scenario
 from repro.experiments.sweep import (
-    DEFAULT_CACHE_DIR,
+    SweepCache,
     SweepResult,
     SweepRunner,
+    default_cache_dir,
     diff_results,
     quick_cells,
 )
@@ -106,8 +109,10 @@ def _cmd_run(args) -> int:
     runner = SweepRunner(
         parallel=not args.serial,
         max_workers=args.workers,
-        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_dir=None if args.no_cache
+        else (args.cache_dir or default_cache_dir()),
         force=args.force,
+        fleet_shards=args.shards,
     )
     started = time.monotonic()
     result = runner.run_cells(spec.name, cells)
@@ -136,8 +141,17 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
-    """Run a fleet scenario's topologies through the sharded cluster layer."""
+    """Run a fleet scenario's topologies through the sharded cluster layer.
+
+    Deterministic fleet metrics cache exactly like ``run`` cells (same
+    ``SweepCache``, same ``$REPRO_SWEEP_CACHE`` handling); shard count and
+    run-ahead are execution details excluded from the cache key, wall-clock
+    ``runtime`` data is never cached.
+    """
+    from dataclasses import replace
+
     from repro.cluster import FleetCoordinator, FleetTopology
+    from repro.experiments.sweep import fleet_cell_metrics
 
     try:
         spec = get_scenario(args.scenario)
@@ -152,19 +166,38 @@ def _cmd_fleet(args) -> int:
         print(f"error: scenario {spec.name!r} has no fleet cells "
               f"(fleet scenarios: see 'list', tag 'fleet')", file=sys.stderr)
         return 2
-    coordinator = FleetCoordinator(
-        shards=args.shards,
-        processes=None if not args.serial else False,
-        epoch_us=args.epoch_us,
-    )
+    cache = None if args.no_cache \
+        else SweepCache(args.cache_dir or default_cache_dir())
+    coordinator_kwargs = {"shards": args.shards,
+                          "processes": None if not args.serial else False}
+    if args.run_ahead is not None:
+        coordinator_kwargs["run_ahead"] = args.run_ahead
+    coordinator = FleetCoordinator(**coordinator_kwargs)
     reports = []
     for cell in fleet_cells:
+        if args.epoch_us is not None:
+            # Fold the override into the cell so the cache key sees it (a
+            # different synchronization window is different physics).
+            scaled = FleetTopology.from_json(cell.fleet).scaled(
+                epoch_us=args.epoch_us)
+            cell = replace(cell, fleet=scaled.canonical())
         topology = FleetTopology.from_json(cell.fleet)
-        payload = coordinator.run(topology)
-        reports.append({"labels": dict(cell.labels), "result": payload})
+        metrics = None if (cache is None or args.force) \
+            else cache.load(spec.name, cell)
+        runtime = None
+        if metrics is None:
+            full = coordinator.run(topology)
+            runtime = full.get("runtime")
+            metrics = fleet_cell_metrics(full)
+            if cache is not None:
+                cache.store(spec.name, cell, metrics)
+        payload = dict(metrics["fleet"])
+        if runtime is not None:
+            payload["runtime"] = runtime
+        reports.append({"labels": dict(cell.labels),
+                        "cached": runtime is None, "result": payload})
         labels = json.dumps(dict(cell.labels), sort_keys=True)
         fleet_metrics = payload["fleet"]
-        runtime = payload["runtime"]
         print(f"\n# {topology.name} {labels}")
         print(f"{fleet_metrics['devices']} devices, "
               f"{payload['topology']['tenants']} tenants, "
@@ -191,9 +224,14 @@ def _cmd_fleet(args) -> int:
               f"mean {fleet_metrics['mean_us']:.1f}us, "
               f"p99.9 {fleet_metrics['p999_us']:.1f}us, "
               f"{fleet_metrics['throughput_gbps']:.3f} GB/s aggregate")
-        print(f"runtime: {runtime['shards']} shard(s) ({runtime['mode']}), "
-              f"{runtime['epochs']} epochs, {runtime['wall_s']:.2f}s wall, "
-              f"{runtime['events_per_sec']:.0f} events/s")
+        if runtime is None:
+            print("runtime: cached result (use --force to re-run)")
+        else:
+            print(f"runtime: {runtime['shards']} shard(s) "
+                  f"({runtime['mode']}), {runtime['epochs']} epochs, "
+                  f"{runtime['coordinator_rounds']} coordinator round(s), "
+                  f"{runtime['wall_s']:.2f}s wall, "
+                  f"{runtime['events_per_sec']:.0f} events/s")
     if args.out:
         from pathlib import Path
         path = Path(args.out)
@@ -257,7 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="run cells in-process instead of worker processes")
     run_parser.add_argument("--workers", type=int, default=None,
                             help="worker-process count (default: CPU count)")
-    run_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    run_parser.add_argument("--shards", type=int, default=1,
+                            help="shard count applied to fleet cells "
+                                 "(nested inside the sweep pool)")
+    run_parser.add_argument("--cache-dir", default=None,
+                            help="result-cache directory (default: "
+                                 "$REPRO_SWEEP_CACHE or .sweep-cache)")
     run_parser.add_argument("--no-cache", action="store_true",
                             help="disable the result cache entirely")
     run_parser.add_argument("--force", action="store_true",
@@ -280,6 +323,17 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--epoch-us", type=float, default=None,
                               help="override the topology's conservative "
                                    "synchronization window")
+    fleet_parser.add_argument("--run-ahead", type=int, default=None,
+                              help="epochs granted per coordinator task for "
+                                   "self-contained shards (default 16; 1 "
+                                   "restores per-epoch barriers)")
+    fleet_parser.add_argument("--cache-dir", default=None,
+                              help="result-cache directory (default: "
+                                   "$REPRO_SWEEP_CACHE or .sweep-cache)")
+    fleet_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the result cache entirely")
+    fleet_parser.add_argument("--force", action="store_true",
+                              help="ignore cached results and re-run")
     fleet_parser.add_argument("--quick", action="store_true",
                               help="shrink tenant workloads for a fast pass")
     fleet_parser.add_argument("--out", default=None,

@@ -450,12 +450,13 @@ register(scenario(
 
 def _datacenter_diurnal_topology():
     """Trace-driven fleet: diurnal + bursty arrival processes on ESSDs."""
-    from repro.cluster import fleet, group, tenant
+    from repro.cluster import edge, fleet, group, tenant
 
     return fleet(
         "datacenter-diurnal",
         groups=[
             group("pl3", "ESSD-2", 16),
+            group("pl3-mirror", "ESSD-2", 8),
             group("io2", "ESSD-1", 8),
         ],
         tenants=[
@@ -467,6 +468,10 @@ def _datacenter_diurnal_topology():
                    burst_factor=6.0, burst_fraction=0.1,
                    period_us=25_000.0, io_size=64 * KiB),
         ],
+        # The diurnal writers mirror asynchronously onto a second ESSD-2
+        # tier: a long trace-driven fleet with steady replica traffic, the
+        # shape the coordinator's batched run-ahead windows target.
+        edges=[edge("pl3", "pl3-mirror")],
         epoch_us=5000.0,
         seed=131,
     )

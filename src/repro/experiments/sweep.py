@@ -54,7 +54,16 @@ from repro.determinism import canonical_json, derive_seed, spec_hash  # noqa: F4
 CACHE_VERSION = 3
 
 #: Default cache directory (overridable per-runner or via the environment).
+#: Snapshotted at import time; prefer :func:`default_cache_dir` so late
+#: changes to ``$REPRO_SWEEP_CACHE`` are honored consistently.
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_SWEEP_CACHE", ".sweep-cache")
+
+
+def default_cache_dir() -> str:
+    """The sweep-cache directory: ``$REPRO_SWEEP_CACHE`` (read at call
+    time, so every CLI verb sees the same environment) or
+    ``.sweep-cache``."""
+    return os.environ.get("REPRO_SWEEP_CACHE", ".sweep-cache")
 
 #: Sub-packages of ``repro`` whose source defines simulation physics; their
 #: contents make up the cache fingerprint.  Experiment/CLI modules are
@@ -152,10 +161,15 @@ class CellSpec:
     device_params: tuple = ()
     #: A fleet-simulation cell: the canonical JSON of a
     #: :class:`repro.cluster.FleetTopology` payload.  When set, the cell is
-    #: executed through the cluster layer (serially -- the sweep pool
-    #: already parallelises across cells) and the fleet/device/job fields
+    #: executed through the cluster layer and the fleet/device/job fields
     #: above are ignored except for bookkeeping.
     fleet: Optional[str] = None
+    #: Shard count for fleet cells (``SweepRunner(fleet_shards=...)`` /
+    #: ``run --shards``): >1 nests cluster-level sharding inside the sweep
+    #: pool's cell-level parallelism.  Excluded from the cache key --
+    #: sharded runs are bit-identical to serial ones, so any layout may
+    #: serve a cached result.
+    fleet_shards: int = 1
     #: Free-form labels carried through to the result (not part of the job).
     labels: tuple = ()
 
@@ -188,9 +202,11 @@ class CellSpec:
     def cache_key(self) -> str:
         # Labels are cosmetic (display/lookup only); excluding them keeps the
         # cache warm across label renames and lets diff_results align cells
-        # with identical physics.
+        # with identical physics.  fleet_shards is an execution detail: the
+        # cluster layer guarantees bit-identical metrics for every layout.
         payload = self.to_payload()
         payload.pop("labels")
+        payload.pop("fleet_shards")
         return spec_hash({"version": CACHE_VERSION,
                           "models": model_fingerprint(),
                           "cell": payload})
@@ -295,22 +311,41 @@ def _run_stream_cell(cell: CellSpec) -> dict[str, Any]:
     return metrics
 
 
-def _run_fleet_cell(cell: CellSpec) -> dict[str, Any]:
-    """Execute a fleet cell through the cluster layer (one in-process shard).
+def fleet_cell_metrics(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """The cacheable metrics dict for a fleet cell: headline numbers plus
+    the full coordinator payload under ``"fleet"``, minus the
+    nondeterministic ``runtime`` section.
 
-    The sweep pool already parallelises across cells, so each fleet cell
-    runs serially here; ``python -m repro.experiments fleet`` is the entry
-    point for sharding one big fleet across worker processes.
+    This is the shared cache contract between ``run`` (via
+    :func:`_run_fleet_cell`) and the ``fleet`` CLI verb -- both read and
+    write the same :class:`SweepCache` entries, so the shape must be built
+    in exactly one place.
     """
-    from repro.cluster import FleetCoordinator, FleetTopology, fleet_headline
+    from repro.cluster import fleet_headline
 
-    topology = FleetTopology.from_json(cell.fleet)
-    payload = FleetCoordinator(shards=1, processes=False).run(topology)
     # Wall-clock data is nondeterministic; the cached metrics must not be.
-    payload.pop("runtime", None)
+    payload = {key: value for key, value in payload.items()
+               if key != "runtime"}
     metrics = fleet_headline(payload)
     metrics["fleet"] = payload
     return metrics
+
+
+def _run_fleet_cell(cell: CellSpec) -> dict[str, Any]:
+    """Execute a fleet cell through the cluster layer.
+
+    ``cell.fleet_shards=1`` (the default) runs the fleet in one in-process
+    shard -- the sweep pool already parallelises across cells.  A larger
+    value shards the fleet across dedicated worker processes *inside* the
+    pool worker (``ProcessPoolExecutor`` workers are non-daemonic, so both
+    levels of parallelism nest); results are bit-identical either way.
+    """
+    from repro.cluster import FleetCoordinator, FleetTopology
+
+    topology = FleetTopology.from_json(cell.fleet)
+    shards = max(1, cell.fleet_shards)
+    payload = FleetCoordinator(shards=shards, processes=shards > 1).run(topology)
+    return fleet_cell_metrics(payload)
 
 
 def _run_trace_cell(cell: CellSpec) -> dict[str, Any]:
@@ -641,17 +676,26 @@ class SweepRunner:
         Directory for the JSON result cache; ``None`` disables caching.
     force:
         Ignore cached results and re-run every cell.
+    fleet_shards:
+        Shard count applied to every fleet cell (nested inside the sweep
+        pool's cell-level parallelism).  Metrics are bit-identical to the
+        serial layout, so caching is unaffected.
     """
 
     def __init__(self, parallel: bool = False, max_workers: Optional[int] = None,
-                 cache_dir: Optional[str | Path] = None, force: bool = False):
+                 cache_dir: Optional[str | Path] = None, force: bool = False,
+                 fleet_shards: int = 1):
         self.parallel = parallel
         self.max_workers = max_workers
         self.cache = SweepCache(cache_dir) if cache_dir is not None else None
         self.force = force
+        self.fleet_shards = fleet_shards
 
     def run_cells(self, scenario: str, cells: Sequence[CellSpec]) -> SweepResult:
         """Run (or load from cache) every cell and return the sweep result."""
+        if self.fleet_shards > 1:
+            cells = [replace(cell, fleet_shards=self.fleet_shards)
+                     if cell.fleet is not None else cell for cell in cells]
         result = SweepResult(scenario=scenario)
         outcomes: list[Optional[CellOutcome]] = [None] * len(cells)
         pending: list[tuple[int, CellSpec]] = []

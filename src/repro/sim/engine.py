@@ -23,6 +23,26 @@ relays for already-processed events, and process bootstraps.  With
 * runs :meth:`Simulator.run` as a tight inlined loop instead of a chain of
   ``step``/``dispatch`` method calls.
 
+Timer wheel
+-----------
+Delayed events bucket by exact deadline on a **timer wheel**
+(``timer_wheel=True``, the default, effective only on the fast path).  The
+schedule is a three-level hierarchy:
+
+1. zero-delay, normal-priority events -- the FIFO deque above;
+2. near-future deadlines (``delay <= wheel_horizon_us``) -- one wheel slot
+   per *distinct* deadline.  Same-deadline timeouts append to their slot in
+   O(1) (device fleets synchronize on shared service times and epoch
+   grids, so slots run fat); only the first event at a new deadline pays a
+   push onto the small heap of distinct slot times;
+3. far-future deadlines and urgent-priority events cascade to the classic
+   binary heap.
+
+The run loop pops the minimum of the three by ``(time, priority,
+sequence)``: slot entries are appended in sequence order and all carry
+normal priority, so the merged order is **bit-identical** to both the
+heap-only kernel and the pre-wheel fast path (``timer_wheel=False``).
+
 ``fast_path=False`` restores the original heap-only, allocation-per-event
 behavior; the kernel microbenchmark (``benchmarks/test_bench_kernel.py``)
 runs both and records the speedup in ``BENCH_kernel.json``.
@@ -55,6 +75,11 @@ __all__ = ["EmptySchedule", "Simulator", "PRIORITY_NORMAL", "PRIORITY_URGENT"]
 #: cannot pin an unbounded amount of memory.
 _POOL_LIMIT = 512
 
+#: Default wheel horizon (microseconds).  Deadlines further out than this
+#: skip the wheel and go straight to the heap: far-future timers are rare,
+#: rarely share deadlines, and would only bloat the heap of slot times.
+DEFAULT_WHEEL_HORIZON_US = 65536.0
+
 _PROCESS_RESUME = Process._resume
 
 
@@ -73,6 +98,13 @@ class Simulator:
         Enable the zero-delay deque, object pooling, and the inlined run
         loop (see module docstring).  Event ordering is identical either
         way.
+    timer_wheel:
+        Bucket near-future deadlines on the timer wheel (fast path only).
+        ``False`` restores the pre-wheel fast path, again with identical
+        event ordering.
+    wheel_horizon_us:
+        Deadlines more than this far in the future bypass the wheel and
+        land on the heap directly.
 
     Examples
     --------
@@ -87,7 +119,9 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self, start_time: float = 0.0, fast_path: bool = True):
+    def __init__(self, start_time: float = 0.0, fast_path: bool = True,
+                 timer_wheel: bool = True,
+                 wheel_horizon_us: float = DEFAULT_WHEEL_HORIZON_US):
         self._now = float(start_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         #: Zero-delay, normal-priority events at the *current* time, FIFO by
@@ -99,6 +133,21 @@ class Simulator:
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self.fast_path = bool(fast_path)
+        self.timer_wheel = bool(timer_wheel) and self.fast_path
+        #: Wheel slots: exact deadline -> events at that deadline, appended
+        #: in sequence order (so a slot is already internally sorted).  All
+        #: slot entries are normal priority and every slot time is strictly
+        #: in the future: the moment the clock reaches the minimum slot,
+        #: the run loop moves the whole slot onto the immediate deque --
+        #: the slot *is* a batch of "events at the current time, FIFO by
+        #: sequence", so the deque invariant carries over and per-event
+        #: processing rides the deque fast path.
+        self._wheel_buckets: dict[float, list[Event]] = {}
+        #: Min-heap of the distinct slot times (one entry per live slot).
+        self._wheel_times: list[float] = []
+        #: Scheduling gate: delays in (0, _wheel_gate] go to the wheel.  A
+        #: negative gate (wheel disabled) routes every delay to the heap.
+        self._wheel_gate = float(wheel_horizon_us) if self.timer_wheel else -1.0
         self._timeout_pool: list[Timeout] = []
         self._event_pool: list[Event] = []
 
@@ -116,7 +165,8 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events still sitting in the schedule."""
-        return len(self._queue) + len(self._immediate)
+        return len(self._queue) + len(self._immediate) + \
+            sum(len(bucket) for bucket in self._wheel_buckets.values())
 
     @property
     def scheduled_events(self) -> int:
@@ -138,11 +188,24 @@ class Simulator:
             timeout._processed = False
             timeout._defused = False
             # _triggered/_ok stay True; the callback list was cleared when
-            # the object was pooled.
+            # the object was pooled.  The scheduling cascade below mirrors
+            # _schedule's fast path (deque -> wheel slot -> heap).
             self._sequence = seq = self._sequence + 1
+            timeout._seq = seq
             if delay == 0.0:
-                timeout._seq = seq
                 self._immediate.append(timeout)
+            elif delay <= self._wheel_gate:
+                time = self._now + delay
+                if time <= self._now:
+                    # Sub-resolution delay: already due (see _schedule).
+                    self._immediate.append(timeout)
+                else:
+                    bucket = self._wheel_buckets.get(time)
+                    if bucket is None:
+                        self._wheel_buckets[time] = [timeout]
+                        heapq.heappush(self._wheel_times, time)
+                    else:
+                        bucket.append(timeout)
             else:
                 heapq.heappush(self._queue, (self._now + delay, PRIORITY_NORMAL,
                                              seq, timeout))
@@ -181,24 +244,65 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
         self._sequence = seq = self._sequence + 1
-        if delay == 0.0 and priority == PRIORITY_NORMAL and self.fast_path:
-            event._seq = seq
-            self._immediate.append(event)
-        else:
-            heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
+        if priority == PRIORITY_NORMAL and self.fast_path:
+            if delay == 0.0:
+                event._seq = seq
+                self._immediate.append(event)
+                return
+            if delay <= self._wheel_gate:
+                event._seq = seq
+                time = self._now + delay
+                if time <= self._now:
+                    # A positive delay below the clock's float resolution
+                    # rounds to "already due": the deque keeps it in exact
+                    # sequence order (a slot keyed at the current time
+                    # would be overtaken by zero-delay events and break
+                    # bit-identity with the heap kernels).
+                    self._immediate.append(event)
+                    return
+                bucket = self._wheel_buckets.get(time)
+                if bucket is None:
+                    self._wheel_buckets[time] = [event]
+                    heapq.heappush(self._wheel_times, time)
+                else:
+                    bucket.append(event)
+                return
+        heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
         if self._immediate:
             return self._now
-        if not self._queue:
-            return float("inf")
-        return self._queue[0][0]
+        next_time = float("inf")
+        if self._wheel_times:
+            next_time = self._wheel_times[0]
+        if self._queue and self._queue[0][0] < next_time:
+            next_time = self._queue[0][0]
+        return next_time
+
+    def _activate_wheel_slot(self) -> None:
+        """Advance the clock to the minimum wheel slot and move the whole
+        slot onto the immediate deque: the slot is exactly a batch of
+        events at the new current time, FIFO by sequence number, so the
+        deque invariant carries over verbatim."""
+        wheel_time = heapq.heappop(self._wheel_times)
+        self._immediate.extend(self._wheel_buckets.pop(wheel_time))
+        self._now = wheel_time
 
     def _next_event(self) -> Event:
         """Pop the next event in (time, priority, sequence) order."""
         immediate = self._immediate
         queue = self._queue
+        if not immediate and self._wheel_times:
+            # The minimum wheel slot becomes current unless a heap entry
+            # precedes its head by (time, priority, sequence).  At an exact
+            # time tie the slot is parked on the deque either way (losing
+            # slots must not stay behind a dispatch that may append
+            # zero-delay events with larger sequence numbers); the deque
+            # branch below then re-merges against the heap.
+            wheel_time = self._wheel_times[0]
+            if not queue or queue[0][0] >= wheel_time:
+                self._activate_wheel_slot()
         if immediate:
             if queue:
                 entry = queue[0]
@@ -318,6 +422,8 @@ class Simulator:
         """
         queue = self._queue
         immediate = self._immediate
+        wheel_times = self._wheel_times
+        wheel_buckets = self._wheel_buckets
         heappop = heapq.heappop
         timeout_pool = self._timeout_pool
         event_pool = self._event_pool
@@ -328,7 +434,11 @@ class Simulator:
         if stop_event is not None and stop_event._processed:
             return stop_event._value
         while True:
-            # -- pop next (deque vs heap, ordered by (time, prio, seq)) ----
+            # -- pop next (deque vs wheel vs heap by (time, prio, seq)) ----
+            # Wheel slot times are strictly in the future while the deque is
+            # non-empty (a slot moves wholesale onto the deque the moment
+            # the clock reaches it), so the deque branch only ever has to
+            # merge against the heap -- exactly the pre-wheel logic.
             if immediate:
                 event = None
                 if queue:
@@ -341,6 +451,44 @@ class Simulator:
                         event = entry[3]
                 if event is None:
                     event = immediate.popleft()
+            elif wheel_times:
+                wheel_time = wheel_times[0]
+                entry = None
+                if queue:
+                    entry = queue[0]
+                    if entry[0] > wheel_time or (
+                            entry[0] == wheel_time and (
+                                wheel_time, PRIORITY_NORMAL,
+                                wheel_buckets[wheel_time][0]._seq) < entry):
+                        entry = None
+                if entry is not None:
+                    if stop_time is not None and entry[0] > stop_time:
+                        self._now = stop_time
+                        return None
+                    heappop(queue)
+                    if entry[0] == wheel_time:
+                        # The slot shares the heap entry's time: park it on
+                        # the deque *before* dispatching, so zero-delay
+                        # events scheduled by the dispatch (larger seq)
+                        # cannot overtake the slot's entries.
+                        heappop(wheel_times)
+                        immediate.extend(wheel_buckets.pop(wheel_time))
+                    self._now = entry[0]
+                    event = entry[3]
+                else:
+                    if stop_time is not None and wheel_time > stop_time:
+                        self._now = stop_time
+                        return None
+                    # Activate the slot: the clock advances to its time and
+                    # the whole batch continues on the deque fast path.
+                    heappop(wheel_times)
+                    bucket = wheel_buckets.pop(wheel_time)
+                    self._now = wheel_time
+                    if len(bucket) == 1:
+                        event = bucket[0]
+                    else:
+                        immediate.extend(bucket)
+                        event = immediate.popleft()
             elif queue:
                 entry = queue[0]
                 if stop_time is not None and entry[0] > stop_time:
@@ -411,7 +559,7 @@ class Simulator:
         ``max_events`` acts as a safety valve against runaway simulations.
         """
         processed = 0
-        while self._queue or self._immediate:
+        while self._queue or self._immediate or self._wheel_times:
             if max_events is not None and processed >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
             self.step()

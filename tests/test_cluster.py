@@ -323,7 +323,7 @@ def test_cli_fleet_verb_runs_and_saves_report(tmp_path, capsys):
     _register_mini_scenario()
     out = tmp_path / "fleet.json"
     assert cli_main(["fleet", "mini-fleet-under-test", "--serial",
-                     "--shards", "2", "--out", str(out)]) == 0
+                     "--shards", "2", "--no-cache", "--out", str(out)]) == 0
     printed = capsys.readouterr().out
     assert "frontend" in printed and "2 shard(s)" in printed
     reports = json.loads(out.read_text())
@@ -332,6 +332,84 @@ def test_cli_fleet_verb_runs_and_saves_report(tmp_path, capsys):
     # Unknown scenario and non-fleet scenario fail cleanly.
     assert cli_main(["fleet", "no-such-scenario"]) == 2
     assert cli_main(["fleet", "latency-grid"]) == 2
+
+
+def test_cli_fleet_verb_honors_sweep_cache_env(tmp_path, capsys, monkeypatch):
+    """``fleet --quick`` must cache under ``$REPRO_SWEEP_CACHE`` exactly
+    like ``run`` does (regression: the fleet verb ignored the cache
+    entirely, re-simulating every invocation)."""
+    _register_mini_scenario()
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "cache"))
+    assert cli_main(["fleet", "mini-fleet-under-test", "--serial",
+                     "--quick"]) == 0
+    first = capsys.readouterr().out
+    assert "cached result" not in first
+    cache_files = list((tmp_path / "cache").rglob("*.json"))
+    assert cache_files, "fleet verb wrote nothing to $REPRO_SWEEP_CACHE"
+    assert cli_main(["fleet", "mini-fleet-under-test", "--serial",
+                     "--quick"]) == 0
+    second = capsys.readouterr().out
+    assert "cached result" in second
+    # The physics tables are identical between the fresh and cached pass.
+    assert first.split("runtime:")[0] == second.split("runtime:")[0]
+    # A different shard count / run-ahead still hits the same cache entry
+    # (execution details are excluded from the key) ...
+    assert cli_main(["fleet", "mini-fleet-under-test", "--serial",
+                     "--quick", "--shards", "3", "--run-ahead", "1"]) == 0
+    assert "cached result" in capsys.readouterr().out
+    # ... while an epoch override is different physics: fresh run.
+    assert cli_main(["fleet", "mini-fleet-under-test", "--serial",
+                     "--quick", "--epoch-us", "400.0"]) == 0
+    assert "cached result" not in capsys.readouterr().out
+    # --force bypasses, --no-cache disables.
+    assert cli_main(["fleet", "mini-fleet-under-test", "--serial",
+                     "--quick", "--force"]) == 0
+    assert "cached result" not in capsys.readouterr().out
+
+
+def test_sweep_runner_passes_shards_down_to_fleet_cells(tmp_path):
+    """A fleet cell sharded through the sweep pool (nested parallelism)
+    must match the serial single-shard result bit for bit."""
+    spec = _register_mini_scenario()
+    cells = spec.cells()[:1]
+    serial = SweepRunner().run_cells(spec.name, cells)
+    sharded = SweepRunner(parallel=True, fleet_shards=2,
+                          cache_dir=None).run_cells(spec.name, cells)
+    assert serial.outcomes[0].metrics == sharded.outcomes[0].metrics
+    # The shard count is an execution detail: same cache key either way.
+    assert cells[0].cache_key() == \
+        sharded.outcomes[0].cell.cache_key()
+    assert sharded.outcomes[0].cell.fleet_shards == 2
+
+
+def test_coordinator_run_ahead_values_are_bit_identical():
+    topology = mini_fleet()
+    reference = run_fleet_serial(topology)
+    for shards, run_ahead in ((1, 1), (2, 4), (3, 1), (3, 64)):
+        payload = FleetCoordinator(shards=shards, processes=False,
+                                   run_ahead=run_ahead).run(topology)
+        assert json.dumps(strip_runtime(payload), sort_keys=True) == \
+            json.dumps(strip_runtime(reference), sort_keys=True), \
+            (shards, run_ahead)
+
+
+def test_batched_coordination_cuts_tasks_per_busy_epoch():
+    """Self-contained shards get multi-epoch grants: coordinator rounds
+    drop from one per busy epoch to one per run-ahead window."""
+    topology = mini_fleet()
+    per_epoch = FleetCoordinator(shards=2, processes=False,
+                                 run_ahead=1).run(topology)
+    batched = FleetCoordinator(shards=2, processes=False,
+                               run_ahead=64).run(topology)
+    assert per_epoch["runtime"]["batched"]
+    assert batched["runtime"]["batched"]
+    assert per_epoch["runtime"]["coordinator_rounds"] == \
+        per_epoch["runtime"]["epochs"]
+    assert batched["runtime"]["coordinator_rounds"] < \
+        per_epoch["runtime"]["coordinator_rounds"]
+    assert batched["runtime"]["epochs"] == per_epoch["runtime"]["epochs"]
+    assert json.dumps(strip_runtime(batched), sort_keys=True) == \
+        json.dumps(strip_runtime(per_epoch), sort_keys=True)
 
 
 def test_registered_fleet_scenarios_are_well_formed():

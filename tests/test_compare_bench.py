@@ -1,0 +1,137 @@
+"""Unit tests for the CI benchmark-regression gate (compare_bench.py)."""
+
+import json
+
+import pytest
+
+from benchmarks import compare_bench
+
+
+def write_artifacts(directory, kernel_speedups, batched_tasks=40.0,
+                    task_cut=11.0):
+    immediate, mixed, timer, roundtrip = kernel_speedups
+    (directory / "BENCH_kernel.json").write_text(json.dumps({
+        "events_per_sec": {
+            "immediate": {"speedup": immediate},
+            "mixed": {"speedup": mixed},
+            "timer": {"speedup": timer},
+        },
+        "request_roundtrips_per_sec": {"speedup": roundtrip},
+    }))
+    (directory / "BENCH_fleet.json").write_text(json.dumps({
+        "coordination": {
+            "task_cut": task_cut,
+            "variants": {"batched": {"tasks_per_sim_second": batched_tasks}},
+        },
+    }))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baselines"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    return baseline, current
+
+
+def test_identical_artifacts_pass(dirs):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
+    write_artifacts(current, (3.0, 2.6, 2.7, 1.4))
+    assert compare_bench.main(["--baseline-dir", str(baseline),
+                               "--current-dir", str(current)]) == 0
+
+
+def test_within_tolerance_passes_and_improvement_passes(dirs):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
+    # 5% slower speedups, slightly fewer tasks: all inside the 10% band.
+    write_artifacts(current, (2.85, 2.47, 2.57, 1.33),
+                    batched_tasks=43.0, task_cut=10.5)
+    assert compare_bench.main(["--baseline-dir", str(baseline),
+                               "--current-dir", str(current)]) == 0
+
+
+def test_higher_is_better_regression_fails(dirs):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
+    write_artifacts(current, (3.0, 2.0, 2.7, 1.4))  # mixed -23%
+    rows, regressions = compare_bench.compare(baseline, current, 0.10)
+    assert regressions == 1
+    bad = [row for row in rows if row["status"] == "REGRESSED"]
+    assert len(bad) == 1 and "mixed" in bad[0]["metric"]
+    assert compare_bench.main(["--baseline-dir", str(baseline),
+                               "--current-dir", str(current)]) == 1
+
+
+def test_lower_is_better_regression_fails(dirs):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
+    # Coordination traffic ballooned 50%: a batching regression.
+    write_artifacts(current, (3.0, 2.6, 2.7, 1.4), batched_tasks=60.0)
+    rows, regressions = compare_bench.compare(baseline, current, 0.10)
+    assert regressions == 1
+    bad = [row for row in rows if row["status"] == "REGRESSED"]
+    assert bad[0]["metric"].endswith("tasks_per_sim_second")
+
+
+def test_missing_current_artifact_fails_loudly(dirs):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
+    rows, regressions = compare_bench.compare(baseline, current, 0.10)
+    assert regressions == len(compare_bench.TRACKED)
+    assert all(row["status"] == "MISSING" for row in rows)
+
+
+def test_zero_baseline_fails_instead_of_passing_vacuously(dirs):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4), task_cut=0.0)
+    write_artifacts(current, (3.0, 2.6, 2.7, 1.4), task_cut=0.0)
+    rows, regressions = compare_bench.compare(baseline, current, 0.10)
+    assert regressions == 1
+    bad = [row for row in rows if row["status"] == "BAD-BASELINE"]
+    assert len(bad) == 1 and bad[0]["metric"].endswith("task_cut")
+
+
+def test_missing_baseline_metric_reports_new_and_passes(dirs):
+    baseline, current = dirs
+    write_artifacts(current, (3.0, 2.6, 2.7, 1.4))
+    rows, regressions = compare_bench.compare(baseline, current, 0.10)
+    assert regressions == 0
+    assert all(row["status"] == "new" for row in rows)
+
+
+def test_summary_markdown_is_appended(dirs, tmp_path):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
+    write_artifacts(current, (3.0, 1.9, 2.7, 1.4))
+    summary = tmp_path / "summary.md"
+    assert compare_bench.main(["--baseline-dir", str(baseline),
+                               "--current-dir", str(current),
+                               "--summary", str(summary)]) == 1
+    text = summary.read_text()
+    assert "| metric |" in text and "REGRESSED" in text and "FAIL" in text
+
+
+def test_committed_baselines_cover_every_tracked_metric():
+    """The real benchmarks/baselines/ artifacts must expose every tracked
+    metric -- otherwise the CI gate silently loses coverage."""
+    for artifact, metric, _direction in compare_bench.TRACKED:
+        payload = compare_bench.load_artifact(compare_bench.BASELINE_DIR,
+                                              artifact)
+        assert payload is not None, f"missing baseline {artifact}"
+        assert compare_bench.lookup(payload, metric) is not None, \
+            f"{artifact} baseline lacks {metric}"
+
+
+def test_tracked_kernel_baseline_holds_the_paper_trajectory():
+    """The committed kernel baseline must record the >=2.5x mixed/timer
+    speedups this PR claims; regressing it in a later PR trips the gate."""
+    payload = compare_bench.load_artifact(compare_bench.BASELINE_DIR,
+                                          "BENCH_kernel.json")
+    assert payload is not None
+    assert compare_bench.lookup(
+        payload, "events_per_sec.mixed.speedup") >= 2.5
+    assert compare_bench.lookup(
+        payload, "events_per_sec.timer.speedup") >= 2.5

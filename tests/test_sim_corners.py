@@ -14,11 +14,13 @@ from repro.sim import Interrupt, Resource, Simulator
 from repro.sim.events import SimulationError
 
 
-@pytest.fixture(params=["fast", "legacy"])
+@pytest.fixture(params=["fast", "prewheel", "legacy"])
 def make_sim(request):
-    """Simulator factory for both the fast-path and the legacy kernel."""
+    """Simulator factory for every kernel variant: the timer-wheel fast
+    path (default), the pre-wheel fast path, and the legacy kernel."""
     def factory():
-        return Simulator(fast_path=(request.param == "fast"))
+        return Simulator(fast_path=(request.param != "legacy"),
+                         timer_wheel=(request.param == "fast"))
     return factory
 
 
@@ -330,11 +332,20 @@ def test_condition_children_survive_heavy_timeout_churn(make_sim):
     assert seen == [["early", "late"]]
 
 
-def test_fast_and_legacy_kernels_produce_identical_traces():
+#: The three kernel variants that must stay bit-identical: the legacy
+#: heap-only kernel, the pre-wheel fast path, and the timer-wheel fast path.
+KERNEL_VARIANTS = (
+    {"fast_path": False},
+    {"fast_path": True, "timer_wheel": False},
+    {"fast_path": True, "timer_wheel": True},
+)
+
+
+def test_fast_legacy_and_wheel_kernels_produce_identical_traces():
     """End-to-end determinism check: a workload mixing resources, stores,
-    conditions, and zero-delay events runs identically on both kernels."""
-    def run_workload(fast_path):
-        sim = Simulator(fast_path=fast_path)
+    conditions, and zero-delay events runs identically on all kernels."""
+    def run_workload(**kernel):
+        sim = Simulator(**kernel)
         resource = Resource(sim, capacity=2)
         trace = []
 
@@ -351,4 +362,36 @@ def test_fast_and_legacy_kernels_produce_identical_traces():
         sim.run()
         return trace
 
-    assert run_workload(True) == run_workload(False)
+    legacy, prewheel, wheel = (run_workload(**kernel)
+                               for kernel in KERNEL_VARIANTS)
+    assert legacy == prewheel == wheel
+
+
+def test_kernel_variants_identical_across_horizon_and_time_ties():
+    """Randomized cross-check: delays straddling the wheel horizon (slots
+    vs heap cascade), colliding deadlines, and zero-delay events must order
+    identically on every kernel -- including at exact time ties between a
+    heap entry (far-scheduled) and a wheel slot (near-scheduled) for the
+    same deadline."""
+    import random
+
+    def run_workload(**kernel):
+        sim = Simulator(wheel_horizon_us=50.0, **kernel)
+        out = []
+
+        def worker(wid):
+            rng = random.Random(wid)
+            for i in range(40):
+                delay = rng.choice(
+                    [0.0, 0.5, 1.0, 1.0, 7.25, 49.9, 50.0, 50.1, 200.0])
+                yield sim.timeout(delay)
+                out.append((sim.now, wid, i))
+
+        for wid in range(16):
+            sim.process(worker(wid))
+        sim.run()
+        return out
+
+    legacy, prewheel, wheel = (run_workload(**kernel)
+                               for kernel in KERNEL_VARIANTS)
+    assert legacy == prewheel == wheel
