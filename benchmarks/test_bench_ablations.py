@@ -8,7 +8,6 @@ than by accident.
 
 from dataclasses import replace
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.ebs import EssdDevice, alibaba_pl3_profile, aws_io2_profile
@@ -105,7 +104,8 @@ def test_bench_ablation_write_buffer_and_prefetcher_shape_observation1(benchmark
         gaps = {}
         for label, config in (("with buffer", with_cache), ("without buffer", without_cache)):
             ssd_write = measure_latency(
-                lambda sim: SsdDevice(sim, config), "randwrite", 4 * KiB, 1)
+                lambda sim, config=config: SsdDevice(sim, config),
+                "randwrite", 4 * KiB, 1)
             gaps[label] = essd_write / ssd_write
         return gaps
 

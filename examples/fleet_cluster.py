@@ -36,6 +36,40 @@ preload=True)``
     target group.  Deliveries are quantized to the topology's
     ``epoch_us`` window, which is also the shard synchronization barrier.
 
+Fault schedules
+---------------
+A topology optionally carries a declarative fault schedule
+(``faults=[...]``, ``fault_policy=FaultPolicy(...)``) that the runtime
+applies at epoch barriers -- fault physics stay bit-identical at any
+shard count and any run-ahead window:
+
+``fault(kind, group, at_us, device=None, repair_after_us=None,
+spare=None)``
+    ``kind="fail"`` takes a device (or the whole group when ``device`` is
+    None) offline at the first epoch barrier at/after ``at_us``; offline
+    devices *shed* I/O (fast-fail after ``shed_penalty_us``, marked
+    ``request.shed``; shed writes never replicate).  A fail also kicks off
+    a **re-replication storm**: the lost bytes are re-read in paced chunks
+    from the surviving replica holders and re-written to ``spare`` (a cold
+    group promoted on failure) or, without a spare, to the surviving
+    peers -- rebuild traffic competes with foreground tenants on the same
+    simulated devices.  ``kind="drain"`` sheds without rebuilding
+    (planned maintenance).  ``repair_after_us`` brings the device back at
+    a later barrier (always at least one epoch after the failure).
+
+``FaultPolicy(rebuild_chunk_bytes, rebuild_chunks_per_epoch,
+shed_penalty_us, max_inflight)``
+    The rebuild pacing (chunk size x chunks per epoch bounds rebuild
+    bandwidth), the shed fast-fail latency, and an optional admission-
+    control cap: with ``max_inflight=N`` a device sheds any I/O beyond N
+    in flight, turning overload into bounded fast-fails instead of
+    unbounded queueing.
+
+Fleet reports from a faulted topology gain ``result["faults"]`` (shed
+I/Os, rebuild writes/reads/bytes, rebuild GB/s over the degraded window,
+and the during-rebuild vs steady latency split), per-tenant
+``["faults"]`` splits, and per-group rebuild/shed counters.
+
 Run-ahead windows
 -----------------
 The coordinator synchronizes shards on the ``epoch_us`` barrier, but it
@@ -61,6 +95,21 @@ Registered fleet scenarios (see ``python -m repro.experiments list``, tag
     python -m repro.experiments fleet datacenter-diurnal --quick
     python -m repro.experiments fleet fleet-smoke --shards 4 --out report.json
     python -m repro.experiments fleet fleet-smoke --run-ahead 1   # per-epoch
+
+The fault-scenario family exercises the schedule machinery end to end::
+
+    # A device failure mid-run, spare promotion, a concurrent drain, and a
+    # sweep over the rebuild pacing knob (rebuild_chunks_per_epoch):
+    python -m repro.experiments fleet failover-storm --quick
+    # Over-provisioning x working-set sweep under a rebuild storm:
+    python -m repro.experiments run gc-cliff --quick
+
+    # Inject an ad-hoc schedule into any fleet scenario (inline JSON or
+    # @file); the schedule becomes part of the sweep cache key:
+    python -m repro.experiments fleet fleet-smoke --faults \
+        '{"events": [{"kind": "fail", "group": "db", "at_us": 1500.0,
+                      "device": 0, "repair_after_us": 8000.0}],
+          "policy": {"shed_penalty_us": 150.0}}'
 
 ``--shards 1`` *is* the serial path; any ``--shards N`` (and any
 ``--run-ahead``) produces the same fleet metrics (only the ``runtime``

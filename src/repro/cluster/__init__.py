@@ -22,6 +22,7 @@ from repro.cluster.coordinator import (
     partition_topology,
     run_fleet_serial,
 )
+from repro.cluster.faults import FaultEvent, FaultInjector, FaultPolicy
 from repro.cluster.metrics import fleet_headline, merge_shard_payloads
 from repro.cluster.shard import ReplicaMessage, ShardPlan, ShardWorker
 from repro.cluster.topology import (
@@ -30,6 +31,7 @@ from repro.cluster.topology import (
     ReplicationEdge,
     Tenant,
     edge,
+    fault,
     fleet,
     group,
     tenant,
@@ -40,10 +42,14 @@ __all__ = [
     "DeviceGroup",
     "Tenant",
     "ReplicationEdge",
+    "FaultEvent",
+    "FaultPolicy",
+    "FaultInjector",
     "fleet",
     "group",
     "tenant",
     "edge",
+    "fault",
     "ShardPlan",
     "ShardWorker",
     "ReplicaMessage",

@@ -93,8 +93,14 @@ def partition_topology(topology: FleetTopology, shards: int) -> list[ShardPlan]:
             name = parent[name]
         return name
 
-    for edge in topology.edges:
-        root_a, root_b = find(edge.source), find(edge.target)
+    couplings = [(edge.source, edge.target) for edge in topology.edges]
+    # A hot-spare promotion couples the failed group to its spare group the
+    # same way a replication edge couples source to target: rebuild traffic
+    # flows between them, so affinity placement keeps them on one shard.
+    couplings.extend((fault.group, fault.spare) for fault in topology.faults
+                     if fault.spare is not None)
+    for source, target in couplings:
+        root_a, root_b = find(source), find(target)
         if root_a != root_b:
             # Deterministic union: the earlier-declared group wins.
             if position[root_a] > position[root_b]:
@@ -265,7 +271,7 @@ class FleetCoordinator:
         tasks = 0
         batched = False
         try:
-            if not topology.edges:
+            if not topology.edges and not topology.faults:
                 # No cross-device dependencies: each shard drains in one go.
                 backend.advance_all(None, [[] for _ in plans])
                 rounds = 1
@@ -305,12 +311,23 @@ class FleetCoordinator:
                            owner: dict[int, int]) -> bool:
         """Whether every replication edge's source *and* target devices
         landed on a single shard -- the precondition for run-ahead: no
-        shard can ever emit a cross-shard replica message."""
+        shard can ever emit a cross-shard replica message.  Fault events
+        extend the same requirement to rebuild traffic: a failed group and
+        its rebuild targets (the hot spare, or the group's own surviving
+        peers) must share a shard."""
         for edge in topology.edges:
             touched = {owner[index]
                        for index in topology.group_indices(edge.source)}
             touched.update(owner[index]
                            for index in topology.group_indices(edge.target))
+            if len(touched) > 1:
+                return False
+        for fault in topology.faults:
+            touched = {owner[index]
+                       for index in topology.group_indices(fault.group)}
+            if fault.spare is not None:
+                touched.update(owner[index]
+                               for index in topology.group_indices(fault.spare))
             if len(touched) > 1:
                 return False
         return True

@@ -1,0 +1,326 @@
+"""Declarative fault injection: failures, repairs, drains, overload shedding.
+
+A :class:`FaultEvent` names a device (or a whole group) and a time; the
+fleet applies the resulting state flips **at epoch barriers** so that fault
+timing -- like replica-delivery timing -- is quantized onto the exact same
+``index * epoch_us`` float grid the shard runner synchronizes on.  That is
+what keeps a faulted ``shards=N`` run bit-identical to the serial path:
+every shard sees the flip with its clock sitting exactly on the barrier,
+never mid-epoch at a layout-dependent instant.
+
+Three failure semantics are provided:
+
+* ``kind="fail"`` -- the device drops offline at the fault barrier and
+  (optionally) returns after ``repair_after_us``.  A failure triggers a
+  **re-replication storm**: the data the device had absorbed is rebuilt
+  onto a promoted hot spare (``spare=<group>``) or round-robin across the
+  surviving peers of its own group, as paced rebuild writes competing with
+  foreground tenants through the ordinary :class:`repro.devices.Device`
+  submission path.
+* ``kind="drain"`` -- the device stops serving (planned maintenance) with
+  no rebuild traffic; with ``repair_after_us`` it returns to service.
+* Overload shedding -- while a device is offline, requests are not queued
+  forever: the :class:`FaultInjector` proxy *sheds* them after a fixed
+  ``shed_penalty_us`` (an immediate EIO-with-backoff model).  The optional
+  ``max_inflight`` knob extends the same admission control to healthy
+  devices, bounding the rebuild-vs-foreground overload.
+
+:class:`FaultInjector` wraps any object satisfying the
+:class:`repro.devices.Device` protocol, so failures compose with every
+device family (SSD, ESSD, loopback) and with single-device sweep cells as
+well as fleets.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional
+
+from repro.determinism import canonical_json
+from repro.host.io import IORequest, KiB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Simulator
+
+__all__ = [
+    "FaultEvent",
+    "FaultPolicy",
+    "FaultInjector",
+    "fault",
+    "fault_epoch",
+    "parse_fault_spec",
+    "schedule_cell_faults",
+]
+
+_KINDS = ("fail", "drain")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: a device (or group) leaving service at a time.
+
+    ``at_us`` is quantized *up* to the next epoch barrier by the fleet
+    runner (:func:`fault_epoch`); ``repair_after_us`` measures from the
+    requested ``at_us``, and the repair barrier is likewise rounded up (and
+    always lands strictly after the fault barrier, so no fault is a no-op).
+    ``device=None`` fails every device of the group -- a node failure in
+    the paper's sense, since a group models one machine's device fleet.
+    """
+
+    kind: str
+    group: str
+    at_us: float
+    device: Optional[int] = None
+    repair_after_us: Optional[float] = None
+    #: Hot-spare group: rebuild traffic targets this group instead of the
+    #: surviving peers (``kind="fail"`` only).
+    spare: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} "
+                             f"(expected one of {_KINDS})")
+        if self.at_us < 0:
+            raise ValueError(f"fault at_us must be >= 0, got {self.at_us}")
+        if self.repair_after_us is not None and self.repair_after_us <= 0:
+            raise ValueError("repair_after_us must be positive when given")
+        if self.device is not None and self.device < 0:
+            raise ValueError(f"negative device index: {self.device}")
+        if self.spare is not None and self.kind != "fail":
+            raise ValueError("spare promotion only applies to kind='fail'")
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "group": self.group,
+            "at_us": self.at_us,
+            "device": self.device,
+            "repair_after_us": self.repair_after_us,
+            "spare": self.spare,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "FaultEvent":
+        return cls(
+            kind=payload["kind"],
+            group=payload["group"],
+            at_us=float(payload["at_us"]),
+            device=payload.get("device"),
+            repair_after_us=payload.get("repair_after_us"),
+            spare=payload.get("spare"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the fleet reacts to failures and overload.
+
+    The rebuild pacing knobs double as the QoS control the paper's
+    recovery discussion calls for: fewer/larger chunks per epoch trade
+    rebuild time against foreground interference.
+    """
+
+    #: Size of one rebuild write (must stay a multiple of the 4 KiB
+    #: logical block size every registered device family uses).
+    rebuild_chunk_bytes: int = 256 * KiB
+    #: Rebuild chunks released per epoch barrier (per failed device) --
+    #: the storm's admission rate.
+    rebuild_chunks_per_epoch: int = 8
+    #: Latency charged to a request shed by an offline device (the
+    #: timeout-and-fail-fast path a real initiator would take).
+    shed_penalty_us: float = 200.0
+    #: Optional admission cap: a device with this many requests already in
+    #: flight sheds new arrivals instead of queueing them (``None``
+    #: disables the cap).
+    max_inflight: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rebuild_chunk_bytes < 4096 or self.rebuild_chunk_bytes % 4096:
+            raise ValueError("rebuild_chunk_bytes must be a positive "
+                             "multiple of 4096")
+        if self.rebuild_chunks_per_epoch < 1:
+            raise ValueError("rebuild_chunks_per_epoch must be >= 1")
+        if self.shed_penalty_us < 0:
+            raise ValueError("shed_penalty_us must be non-negative")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 when given")
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "rebuild_chunk_bytes": self.rebuild_chunk_bytes,
+            "rebuild_chunks_per_epoch": self.rebuild_chunks_per_epoch,
+            "shed_penalty_us": self.shed_penalty_us,
+            "max_inflight": self.max_inflight,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Optional[Mapping[str, Any]]) -> "FaultPolicy":
+        if not payload:
+            return cls()
+        return cls(**dict(payload))
+
+    def scaled(self, **changes) -> "FaultPolicy":
+        return replace(self, **changes)
+
+
+def fault_epoch(at_us: float, epoch_us: float) -> int:
+    """The epoch-barrier index a fault lands on (rounded up)."""
+    return max(0, math.ceil(at_us / epoch_us))
+
+
+def repair_epoch(event: FaultEvent, epoch_us: float) -> Optional[int]:
+    """The barrier index the device returns to service (``None`` = never).
+
+    Always strictly after the fault barrier so every fault has effect.
+    """
+    if event.repair_after_us is None:
+        return None
+    down = fault_epoch(event.at_us, epoch_us)
+    back = fault_epoch(event.at_us + event.repair_after_us, epoch_us)
+    return max(down + 1, back)
+
+
+# ---------------------------------------------------------------------------
+# Device proxy
+# ---------------------------------------------------------------------------
+
+class FaultInjector:
+    """A :class:`repro.devices.Device` proxy adding failure + admission.
+
+    While ``offline`` the proxy sheds every request after
+    ``shed_penalty_us`` and marks it ``request.shed = True`` so workload
+    hooks (replication, metrics) can tell a refused write from a served
+    one.  Shed requests still complete with a latency, which is exactly
+    how the closed-loop workload experiences an outage: a burst of fast
+    failures rather than an infinite stall.
+    """
+
+    def __init__(self, sim: "Simulator", inner: Any, policy: FaultPolicy):
+        self.sim = sim
+        self.inner = inner
+        self.policy = policy
+        self.offline = False
+        self.shed_ios = 0
+        self.shed_bytes = 0
+        self._inflight = 0
+
+    # -- protocol delegation ------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.inner.capacity_bytes
+
+    @property
+    def logical_block_size(self) -> int:
+        return self.inner.logical_block_size
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    def describe(self) -> dict:
+        payload = self.inner.describe()
+        payload["offline"] = self.offline
+        payload["shed_ios"] = self.shed_ios
+        return payload
+
+    def preload(self, offset: int = 0, size: Optional[int] = None) -> None:
+        self.inner.preload(offset, size)
+
+    def set_tracer(self, tracer) -> None:
+        self.inner.set_tracer(tracer)
+
+    # -- submission path ----------------------------------------------------
+    def submit(self, request: IORequest):
+        cap = self.policy.max_inflight
+        if self.offline or (cap is not None and self._inflight >= cap):
+            return self.sim.process(self._shed(request))
+        if cap is None:
+            return self.inner.submit(request)
+        self._inflight += 1
+        return self.sim.process(self._tracked(request))
+
+    def read(self, offset: int, size: int, **kwargs):
+        return self.submit(IORequest.read(offset, size, **kwargs))
+
+    def write(self, offset: int, size: int, **kwargs):
+        return self.submit(IORequest.write(offset, size, **kwargs))
+
+    def flush(self, **kwargs):
+        return self.submit(IORequest.flush(**kwargs))
+
+    def _shed(self, request: IORequest):
+        request.shed = True
+        self.shed_ios += 1
+        self.shed_bytes += request.size
+        request.submit_time = self.sim.now
+        yield self.sim.timeout(self.policy.shed_penalty_us)
+        request.complete_time = self.sim.now
+        return request
+
+    def _tracked(self, request: IORequest):
+        result = yield self.inner.submit(request)
+        self._inflight -= 1
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing (CLI / CellSpec plumbing)
+# ---------------------------------------------------------------------------
+
+def parse_fault_spec(spec: Any) -> tuple[tuple[FaultEvent, ...], FaultPolicy]:
+    """Parse a fault schedule from JSON text or an already-decoded object.
+
+    Accepts either a bare list of fault-event payloads or
+    ``{"events": [...], "policy": {...}}``.
+    """
+    if isinstance(spec, str):
+        spec = json.loads(spec)
+    if isinstance(spec, Mapping):
+        events = spec.get("events", ())
+        policy = FaultPolicy.from_payload(spec.get("policy"))
+    else:
+        events = spec
+        policy = FaultPolicy()
+    return tuple(FaultEvent.from_payload(entry) for entry in events), policy
+
+
+def canonical_fault_spec(events: Iterable[FaultEvent],
+                         policy: FaultPolicy) -> str:
+    """Canonical JSON for a fault schedule (what ``CellSpec.faults`` stores
+    and the sweep cache hashes)."""
+    return canonical_json({
+        "events": [event.to_payload() for event in events],
+        "policy": policy.to_payload(),
+    })
+
+
+def schedule_cell_faults(sim: "Simulator", devices: Iterable[Any],
+                         events: Iterable[FaultEvent],
+                         policy: FaultPolicy) -> list[FaultInjector]:
+    """Wrap single-cell devices in :class:`FaultInjector` proxies and
+    schedule the offline/online flips at their exact requested times.
+
+    Single-device sweep cells run on one simulator, so there is no epoch
+    grid to quantize onto -- flips are ordinary timed processes.  Fleet
+    runs never use this path (the shard runner applies flips at barriers).
+    """
+    proxies = [FaultInjector(sim, device, policy) for device in devices]
+
+    def flip(proxy: FaultInjector, event: FaultEvent):
+        if event.at_us > 0:
+            yield sim.timeout(event.at_us)
+        proxy.offline = True
+        if event.repair_after_us is not None:
+            yield sim.timeout(event.repair_after_us)
+            proxy.offline = False
+
+    for event in events:
+        for proxy in proxies:
+            sim.process(flip(proxy, event))
+    return proxies

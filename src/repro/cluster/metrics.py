@@ -20,6 +20,7 @@ comparable).
 
 from __future__ import annotations
 
+import math
 from typing import Any, Mapping, Optional, Sequence
 
 from repro.cluster.topology import FleetTopology
@@ -101,11 +102,85 @@ class _Aggregate:
         return payload
 
 
+class _WindowClassifier:
+    """Splits completions into during-rebuild vs steady populations.
+
+    The degraded intervals come from the per-shard fault-window records
+    (failure barrier through rebuild/repair completion); an interval with
+    ``end_us=None`` stays degraded until the end of the run.
+    """
+
+    def __init__(self, windows: Sequence[Mapping[str, Any]]):
+        spans = sorted(
+            (window["start_us"],
+             math.inf if window["end_us"] is None else window["end_us"])
+            for window in windows)
+        merged: list[list[float]] = []
+        for start, end in spans:
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        self.intervals = [(start, end) for start, end in merged]
+
+    def degraded(self, time_us: float) -> bool:
+        return any(start <= time_us < end for start, end in self.intervals)
+
+    def degraded_us(self, start_us: float, finish_us: float) -> float:
+        """Total degraded time clipped to the observation span."""
+        total = 0.0
+        for start, end in self.intervals:
+            lo = max(start, start_us)
+            hi = min(end, finish_us)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+
+class _SplitAggregate:
+    """During-rebuild / steady halves of one latency+bytes population."""
+
+    def __init__(self, classifier: _WindowClassifier):
+        self.classifier = classifier
+        self.during = LatencyRecorder()
+        self.steady = LatencyRecorder()
+        self.during_bytes = 0
+        self.steady_bytes = 0
+
+    def add(self, payload: Mapping[str, Any]) -> None:
+        times = payload.get("completion_times", ())
+        for time_us, latency in zip(times, payload["latency"]):
+            recorder = self.during if self.classifier.degraded(time_us) \
+                else self.steady
+            recorder.record(latency)
+        for time_us, num_bytes in payload["timeline"]:
+            if self.classifier.degraded(time_us):
+                self.during_bytes += num_bytes
+            else:
+                self.steady_bytes += num_bytes
+
+    def to_payload(self, degraded_us: float,
+                   steady_us: float) -> dict[str, Any]:
+        during = _summary_dict(self.during)
+        during["ios"] = len(self.during)
+        during["bytes"] = self.during_bytes
+        during["throughput_gbps"] = (
+            self.during_bytes / degraded_us / 1000.0 if degraded_us > 0
+            else 0.0)
+        steady = _summary_dict(self.steady)
+        steady["ios"] = len(self.steady)
+        steady["bytes"] = self.steady_bytes
+        steady["throughput_gbps"] = (
+            self.steady_bytes / steady_us / 1000.0 if steady_us > 0 else 0.0)
+        return {"during_rebuild": during, "steady": steady}
+
+
 def merge_shard_payloads(topology: FleetTopology,
                          shard_payloads: Sequence[Mapping[str, Any]],
                          ) -> dict[str, Any]:
     """Merge per-shard measurement payloads into the fleet report."""
     table = topology.device_table()
+    faulted = bool(topology.faults)
 
     # tenant -> {global index -> device payload}, merged across shards.
     per_tenant: dict[str, dict[int, Mapping[str, Any]]] = {}
@@ -115,38 +190,65 @@ def merge_shard_payloads(topology: FleetTopology,
             for index_str, payload in devices.items():
                 bucket[int(index_str)] = payload
 
+    # Fault windows are reported by the shard owning the failed device;
+    # sorting on (start, global index) keeps the merged list (and every
+    # classification derived from it) layout-independent.
+    windows: list[Mapping[str, Any]] = []
+    for shard in shard_payloads:
+        windows.extend(shard.get("fault_windows", ()))
+    windows.sort(key=lambda window: (window["start_us"], window["index"]))
+    classifier = _WindowClassifier(windows)
+
     tenants: dict[str, Any] = {}
     groups: dict[str, _Aggregate] = {}
     fleet = _Aggregate()
+    fleet_split = _SplitAggregate(classifier)
     for tenant_name in sorted(per_tenant):
         aggregate = _Aggregate()
+        split = _SplitAggregate(classifier)
         for index in sorted(per_tenant[tenant_name]):
             payload = per_tenant[tenant_name][index]
             aggregate.add(index, payload)
             fleet.add(index, payload)
             group_name = table[index][0]
             groups.setdefault(group_name, _Aggregate()).add(index, payload)
+            if faulted:
+                split.add(payload)
+                fleet_split.add(payload)
         tenants[tenant_name] = aggregate.to_payload()
         tenants[tenant_name]["group"] = next(
             tenant.group for tenant in topology.tenants
             if tenant.name == tenant_name)
+        if faulted:
+            start = aggregate.started if aggregate.started is not None else 0.0
+            finish = aggregate.finished if aggregate.finished is not None \
+                else 0.0
+            degraded = classifier.degraded_us(start, finish)
+            tenants[tenant_name]["faults"] = split.to_payload(
+                degraded, max(0.0, (finish - start) - degraded))
 
     # Replica traffic absorbed per target device, then pooled per group in
     # global-index order -- a split target group merged in shard order
     # would pool the same samples differently and break the bit-identical
-    # serial-vs-sharded invariant.
-    per_device_replicas: dict[int, dict[str, Any]] = {}
-    for shard in shard_payloads:
-        for index_str, stats in shard["replicas"].items():
-            per_device_replicas[int(index_str)] = stats
-    replicas: dict[str, dict[str, Any]] = {}
-    for index in sorted(per_device_replicas):
-        stats = per_device_replicas[index]
-        bucket = replicas.setdefault(
-            table[index][0], {"count": 0, "bytes": 0, "latency": []})
-        bucket["count"] += stats["count"]
-        bucket["bytes"] += stats["bytes"]
-        bucket["latency"].extend(stats["latency"])
+    # serial-vs-sharded invariant.  Rebuild-storm traffic pools the same
+    # way under its own keys.
+    replicas = _pool_by_group(table, shard_payloads, "replicas")
+    rebuilds = _pool_by_group(table, shard_payloads, "rebuilds") \
+        if faulted else {}
+    rebuild_reads = _pool_by_group(table, shard_payloads, "rebuild_reads") \
+        if faulted else {}
+    shed_by_group: dict[str, dict[str, int]] = {}
+    if faulted:
+        per_device_shed: dict[int, Mapping[str, Any]] = {}
+        for shard in shard_payloads:
+            for index_str, stats in shard.get("shed", {}).items():
+                per_device_shed[int(index_str)] = stats
+        for index in sorted(per_device_shed):
+            stats = per_device_shed[index]
+            bucket = shed_by_group.setdefault(
+                table[index][0], {"ios": 0, "bytes": 0})
+            bucket["ios"] += stats["ios"]
+            bucket["bytes"] += stats["bytes"]
 
     group_payloads: dict[str, Any] = {}
     for group in topology.groups:
@@ -162,6 +264,21 @@ def merge_shard_payloads(topology: FleetTopology,
             recorder.extend(replica["latency"])
             payload["replica_mean_us"] = recorder.mean()
             payload["replica_p99_us"] = recorder.percentile(99)
+        if faulted:
+            rebuild = rebuilds.get(group.name)
+            payload["rebuild_writes"] = rebuild["count"] if rebuild else 0
+            payload["rebuild_bytes"] = rebuild["bytes"] if rebuild else 0
+            if rebuild and rebuild["latency"]:
+                recorder = LatencyRecorder()
+                recorder.extend(rebuild["latency"])
+                payload["rebuild_mean_us"] = recorder.mean()
+                payload["rebuild_p99_us"] = recorder.percentile(99)
+            source = rebuild_reads.get(group.name)
+            payload["rebuild_reads"] = source["count"] if source else 0
+            payload["rebuild_read_bytes"] = source["bytes"] if source else 0
+            shed = shed_by_group.get(group.name, {"ios": 0, "bytes": 0})
+            payload["shed_ios"] = shed["ios"]
+            payload["shed_bytes"] = shed["bytes"]
         group_payloads[group.name] = payload
 
     fleet_payload = fleet.to_payload()
@@ -180,7 +297,38 @@ def merge_shard_payloads(topology: FleetTopology,
             for sample in samples
         ]
 
-    return {
+    faults_payload: Optional[dict[str, Any]] = None
+    if faulted:
+        start = fleet.started if fleet.started is not None else 0.0
+        finish = fleet.finished if fleet.finished is not None else 0.0
+        degraded_us = classifier.degraded_us(start, finish)
+        steady_us = max(0.0, (finish - start) - degraded_us)
+        rebuild_bytes = sum(payload.get("rebuild_bytes", 0)
+                            for payload in group_payloads.values())
+        faults_payload = {
+            "events": [dict(window) for window in windows],
+            "degraded_us": degraded_us,
+            "rebuild_writes": sum(payload.get("rebuild_writes", 0)
+                                  for payload in group_payloads.values()),
+            "rebuild_bytes": rebuild_bytes,
+            # Rebuild bandwidth over the degraded window vs what the
+            # foreground tenants pushed through the same window -- the
+            # storm-vs-tenant competition headline.
+            "rebuild_gbps": (rebuild_bytes / degraded_us / 1000.0
+                             if degraded_us > 0 else 0.0),
+            "rebuild_reads": sum(payload.get("rebuild_reads", 0)
+                                 for payload in group_payloads.values()),
+            "rebuild_read_bytes": sum(
+                payload.get("rebuild_read_bytes", 0)
+                for payload in group_payloads.values()),
+            "shed_ios": sum(payload.get("shed_ios", 0)
+                            for payload in group_payloads.values()),
+            "shed_bytes": sum(payload.get("shed_bytes", 0)
+                              for payload in group_payloads.values()),
+        }
+        faults_payload.update(fleet_split.to_payload(degraded_us, steady_us))
+
+    result = {
         "topology": {
             "name": topology.name,
             "devices": topology.total_devices,
@@ -194,6 +342,28 @@ def merge_shard_payloads(topology: FleetTopology,
         "tenants": tenants,
         "groups": group_payloads,
     }
+    if faults_payload is not None:
+        result["faults"] = faults_payload
+    return result
+
+
+def _pool_by_group(table: list, shard_payloads: Sequence[Mapping[str, Any]],
+                   key: str) -> dict[str, dict[str, Any]]:
+    """Pool per-device count/bytes/latency stats per group, in
+    global-index order (the layout-independent pooling order)."""
+    per_device: dict[int, Mapping[str, Any]] = {}
+    for shard in shard_payloads:
+        for index_str, stats in shard.get(key, {}).items():
+            per_device[int(index_str)] = stats
+    pooled: dict[str, dict[str, Any]] = {}
+    for index in sorted(per_device):
+        stats = per_device[index]
+        bucket = pooled.setdefault(
+            table[index][0], {"count": 0, "bytes": 0, "latency": []})
+        bucket["count"] += stats["count"]
+        bucket["bytes"] += stats["bytes"]
+        bucket["latency"].extend(stats["latency"])
+    return pooled
 
 
 def fleet_headline(payload: Mapping[str, Any]) -> dict[str, Any]:

@@ -38,9 +38,16 @@ import math
 from dataclasses import dataclass
 from typing import Any, NamedTuple, Optional
 
+from repro.cluster.faults import (
+    FaultEvent,
+    FaultInjector,
+    fault_epoch,
+    repair_epoch,
+)
 from repro.cluster.topology import (
     DEFAULT_FLEET_ESSD_CAPACITY,
     DEFAULT_FLEET_SSD_CAPACITY,
+    DeviceGroup,
     FleetTopology,
     Tenant,
 )
@@ -71,6 +78,11 @@ class ReplicaMessage(NamedTuple):
     origin_index: int
     origin_seq: int
     delivery_epoch: int
+    #: ``"replica"`` for tenant-write mirroring, ``"rebuild"`` for the
+    #: re-replication storm after a device failure.  Rebuild messages ride
+    #: the exact same barrier machinery (and the same per-origin sequence
+    #: counter), so faulted runs inherit the layout-independence proof.
+    kind: str = "replica"
 
 
 def inbox_order(message: ReplicaMessage) -> tuple:
@@ -99,6 +111,20 @@ class ShardPlan:
 def _default_capacity(device_name: str) -> int:
     return DEFAULT_FLEET_SSD_CAPACITY if device_name == "SSD" \
         else DEFAULT_FLEET_ESSD_CAPACITY
+
+
+def _group_capacity(group: DeviceGroup) -> int:
+    return group.capacity_bytes or _default_capacity(group.device)
+
+
+class _FaultFlip(NamedTuple):
+    """One scheduled device-state flip, pinned to an epoch barrier."""
+
+    epoch: int
+    order: int   # declaration order of the originating FaultEvent
+    index: int   # global device index
+    action: str  # "offline" | "online"
+    event: FaultEvent
 
 
 class ShardWorker:
@@ -131,26 +157,64 @@ class ShardWorker:
         #: otherwise pool samples in shard order and break the bit-identical
         #: merge (the fleet merge re-pools in global-index order).
         self._replica_stats: dict[str, dict[str, Any]] = {}
-        #: (tenant name, global index, result object, byte accumulator)
-        self._runs: list[tuple[str, int, Any, Optional[dict]]] = []
+        #: Same shape as ``_replica_stats`` but for rebuild-storm writes.
+        self._rebuild_stats: dict[str, dict[str, Any]] = {}
+        #: ... and for the rebuild's source reads on surviving replicas.
+        self._rebuild_read_stats: dict[str, dict[str, Any]] = {}
+        #: (tenant name, global index, result, byte accumulator,
+        #:  completion-time record used for during-rebuild classification)
+        self._runs: list[tuple[str, int, Any, Optional[dict],
+                               Optional[list]]] = []
+        #: Fault flips for *owned* devices, sorted by barrier then
+        #: declaration order; ``_flip_index`` is the applied prefix.
+        self._flips: list[_FaultFlip] = []
+        self._flip_index = 0
+        self._fault_proxies: dict[int, FaultInjector] = {}
+        self._fault_windows: list[dict[str, Any]] = []
+
+        affected: set[int] = set()
+        for event in topology.faults:
+            affected.update(self._fault_indices(event))
+        wrap_all = topology.fault_policy.max_inflight is not None
 
         for index in sorted(plan.device_indices):
             group_name, local_index = table[index]
             group = topology.group(group_name)
-            capacity = group.capacity_bytes or _default_capacity(group.device)
             device = create_device(self.sim, group.device,
-                                   capacity_bytes=capacity,
+                                   capacity_bytes=_group_capacity(group),
                                    name=f"{group_name}[{local_index}]",
                                    **dict(group.device_params))
             if group.preload:
                 device.preload()
+            if topology.faults and (index in affected or wrap_all):
+                device = FaultInjector(self.sim, device,
+                                       topology.fault_policy)
+                self._fault_proxies[index] = device
             self.devices[index] = device
             self._placement[index] = (group_name, local_index)
+
+        for order, event in enumerate(topology.faults):
+            down = fault_epoch(event.at_us, topology.epoch_us)
+            back = repair_epoch(event, topology.epoch_us)
+            for index in self._fault_indices(event):
+                if index not in self.devices:
+                    continue
+                self._flips.append(_FaultFlip(down, order, index,
+                                              "offline", event))
+                if back is not None:
+                    self._flips.append(_FaultFlip(back, order, index,
+                                                  "online", event))
+        self._flips.sort(key=lambda flip: (flip.epoch, flip.order, flip.index))
 
         for tenant in topology.tenants:
             for index in topology.group_indices(tenant.group):
                 if index in self.devices:
                     self._bind_tenant(tenant, index)
+
+    def _fault_indices(self, event: FaultEvent) -> list[int]:
+        """Global indices the event takes offline (layout-independent)."""
+        indices = self.topology.group_indices(event.group)
+        return indices if event.device is None else [indices[event.device]]
 
     # -- workload binding --------------------------------------------------
     def _bind_tenant(self, tenant: Tenant, index: int) -> None:
@@ -165,6 +229,10 @@ class ShardWorker:
                                        "group": group_name,
                                        "device": local_index})
         replicate = self._replication_hook(group_name, local_index, index)
+        #: With faults active every post-ramp completion time is recorded,
+        #: aligned 1:1 with the result's latency samples, so the merge can
+        #: split tail latency into during-rebuild vs steady windows.
+        record: Optional[list] = [] if self.topology.faults else None
 
         if tenant.is_trace:
             family = fields.pop("trace")
@@ -174,22 +242,43 @@ class ShardWorker:
                                      **fields)
             accumulator = {"bytes_read": 0, "bytes_written": 0}
 
-            def hook(request, now, _acc=accumulator, _rep=replicate):
+            def hook(request, now, _acc=accumulator, _rep=replicate,
+                     _rec=record):
                 if request.kind is IOKind.READ:
                     _acc["bytes_read"] += request.size
                 else:
                     _acc["bytes_written"] += request.size
                 if _rep is not None:
                     _rep(request, now)
+                if _rec is not None:
+                    _rec.append(now)
 
             result = replay_trace(self.sim, device, trace, run=False,
                                   on_complete=hook)
-            self._runs.append((tenant.name, index, result, accumulator))
+            self._runs.append((tenant.name, index, result, accumulator,
+                               record))
         else:
             job = FioJob(name=tenant.name, seed=seed, **fields)
+            if record is None:
+                hook = replicate
+            else:
+                # run_job fires on_complete before its ramp check, so
+                # skipping the first ramp_ios completions keeps the record
+                # aligned with the recorded latency samples.
+                state = {"ramp": job.ramp_ios}
+
+                def hook(request, now, _rep=replicate, _state=state,
+                         _rec=record):
+                    if _rep is not None:
+                        _rep(request, now)
+                    if _state["ramp"] > 0:
+                        _state["ramp"] -= 1
+                    else:
+                        _rec.append(now)
+
             result = run_job(self.sim, device, job, run=False,
-                             on_complete=replicate)
-            self._runs.append((tenant.name, index, result, None))
+                             on_complete=hook)
+            self._runs.append((tenant.name, index, result, None, record))
 
     def _replication_hook(self, group_name: str, local_index: int,
                           origin_index: int):
@@ -203,8 +292,8 @@ class ShardWorker:
         epoch_us = self.topology.epoch_us
 
         def hook(request, _now):
-            if request.kind is not IOKind.WRITE:
-                return
+            if request.kind is not IOKind.WRITE or request.shed:
+                return  # shed writes never landed, so they never mirror
             now = self.sim.now
             epoch = math.floor(now / epoch_us) + 1
             delivery = epoch * epoch_us
@@ -236,9 +325,16 @@ class ShardWorker:
         offset = message.offset % max(device.logical_block_size,
                                       device.capacity_bytes - message.size)
         offset -= offset % device.logical_block_size
+        kind = IOKind.READ if message.kind == "rebuild-read" else IOKind.WRITE
         request = yield device.submit(IORequest(
-            IOKind.WRITE, offset, message.size, tag="replica"))
-        stats = self._replica_stats.setdefault(
+            kind, offset, message.size, tag=message.kind))
+        if message.kind == "rebuild":
+            bucket = self._rebuild_stats
+        elif message.kind == "rebuild-read":
+            bucket = self._rebuild_read_stats
+        else:
+            bucket = self._replica_stats
+        stats = bucket.setdefault(
             str(message.target_index), {"count": 0, "bytes": 0, "latency": []})
         stats["count"] += 1
         stats["bytes"] += request.size
@@ -265,18 +361,30 @@ class ShardWorker:
         (the coordinator only grants run-ahead windows to shards that can
         never emit one).  ``epochs`` counts the barrier windows executed.
         """
+        if self._flips:
+            # Flips whose barrier the clock already sits on (e.g. the very
+            # first advance with a fault at t=0, or a lockstep barrier that
+            # ended the previous window) apply *before* this barrier's
+            # deliveries -- the same flip-then-deliver order the
+            # self-delivering loop uses, so both gears agree.
+            self._apply_due_faults()
         if inbound:
             self.deliver(inbound)
         if not self_deliver:
-            self.sim.run(until=until_us)
+            self._run_to(until_us)
             outbound = list(self._outbound)
             self._outbound.clear()
-            return outbound, self.sim.peek(), (0 if until_us is None else 1)
+            return outbound, self._peek(), (0 if until_us is None else 1)
 
         epoch_us = self.topology.epoch_us
         executed = 0
         foreign: list[ReplicaMessage] = []
         while True:
+            if self._flips and self._apply_due_faults():
+                # A failure flip emits its rebuild storm synchronously;
+                # route the chunks before computing this barrier's
+                # deliveries so none strand in the outbound buffer.
+                self._route_outbound(foreign)
             due = [message for message in self._held
                    if message.delivery_epoch == self._position]
             if due:
@@ -297,6 +405,10 @@ class ShardWorker:
                 # a future barrier).
                 targets.append(max(self._position + 1,
                                    math.floor(peek / epoch_us) + 1))
+            if self._flip_index < len(self._flips):
+                # Stop exactly on the next fault barrier: flips apply with
+                # the clock sitting on it, never mid-window.
+                targets.append(self._flips[self._flip_index].epoch)
             if not targets:
                 break
             next_index = min(targets)
@@ -306,33 +418,222 @@ class ShardWorker:
             self.sim.run(until=barrier)
             self._position = next_index
             executed += 1
-            for message in self._outbound:
-                if message.target_index in self.devices:
-                    self._held.append(message)
-                else:
-                    foreign.append(message)
-            self._outbound.clear()
-        peek = self.sim.peek()
+            self._route_outbound(foreign)
+        peek = self._peek()
         for message in self._held:
             peek = min(peek, message.delivery_us)
         return foreign, peek, executed
+
+    def _route_outbound(self, foreign: list[ReplicaMessage]) -> None:
+        """Move emitted messages to the intra-shard hold queue or the
+        coordinator-bound list (self-delivery mode)."""
+        for message in self._outbound:
+            if message.target_index in self.devices:
+                self._held.append(message)
+            else:
+                foreign.append(message)
+        self._outbound.clear()
+
+    def _run_to(self, until_us: Optional[float]) -> None:
+        """``sim.run`` segmented at fault barriers (lockstep/drain path).
+
+        A granted window may span a fault barrier (the coordinator windows
+        over the fleet-wide minimum); stopping at each pending barrier and
+        applying the flips there reproduces exactly the event ordering the
+        self-delivering path produces: events at the barrier first, then
+        the flips, then everything beyond.
+        """
+        epoch_us = self.topology.epoch_us
+        while self._flip_index < len(self._flips):
+            barrier = self._flips[self._flip_index].epoch * epoch_us
+            if until_us is not None and barrier > until_us:
+                break
+            self.sim.run(until=barrier)
+            self._apply_due_faults()
+        self.sim.run(until=until_us)
+
+    def _peek(self) -> float:
+        """Next pending event time, folding in pending fault barriers (a
+        fault must wake an otherwise idle fleet)."""
+        peek = self.sim.peek()
+        if self._flip_index < len(self._flips):
+            peek = min(peek, self._flips[self._flip_index].epoch
+                       * self.topology.epoch_us)
+        return peek
+
+    # -- fault application -------------------------------------------------
+    def _apply_due_faults(self) -> bool:
+        """Apply every scheduled flip whose barrier time has been reached.
+
+        Flips are synchronous state changes, never simulator events: event
+        identity (heap sequence numbers) depends on the shard layout, so
+        scheduling flips as events would perturb same-timestamp ordering
+        and break the bit-identical guarantee.
+        """
+        applied = False
+        epoch_us = self.topology.epoch_us
+        while self._flip_index < len(self._flips):
+            flip = self._flips[self._flip_index]
+            if flip.epoch * epoch_us > self.sim.now:
+                break
+            self._flip_index += 1
+            applied = True
+            proxy = self._fault_proxies[flip.index]
+            if flip.action == "online":
+                proxy.offline = False
+                continue
+            proxy.offline = True
+            self._record_failure(flip)
+        return applied
+
+    def _record_failure(self, flip: _FaultFlip) -> None:
+        """Emit the rebuild storm (``kind="fail"``) and log the window."""
+        topology = self.topology
+        epoch_us = topology.epoch_us
+        event = flip.event
+        chunks = emitted = 0
+        end: Optional[float] = None
+        if event.kind == "fail":
+            chunks, emitted, last_epoch = self._emit_rebuild(flip)
+            if chunks:
+                # Chunks delivered at epoch e land within (e, e+1].
+                end = (last_epoch + 1) * epoch_us
+        back = repair_epoch(event, epoch_us)
+        repair_us = back * epoch_us if back is not None else None
+        if repair_us is not None:
+            end = repair_us if end is None else max(end, repair_us)
+        group_name, local_index = self._placement[flip.index]
+        self._fault_windows.append({
+            "kind": event.kind,
+            "group": group_name,
+            "device": local_index,
+            "index": flip.index,
+            "start_us": flip.epoch * epoch_us,
+            "end_us": end,  # None = degraded until the end of the run
+            "repair_us": repair_us,
+            "spare": event.spare,
+            "rebuild_chunks": chunks,
+            "rebuild_bytes": emitted,
+        })
+
+    def _emit_rebuild(self, flip: _FaultFlip) -> tuple[int, int, int]:
+        """Queue the re-replication storm for a failed device.
+
+        The data to rebuild is what the device had absorbed (host-visible
+        bytes written, capped at its capacity); it is re-written in paced
+        chunks onto the promoted hot spare, or round-robin across the
+        surviving peers of the failed group.  Every chunk additionally
+        issues a paced *source read* against a surviving replica holder
+        (the targets of the failed group's replication edges, using the
+        same local-index mapping the mirroring hook uses) -- a
+        re-replication storm loads both ends of the copy.  Chunks ride the
+        ordinary :class:`ReplicaMessage` barrier machinery starting one
+        epoch after the failure, so rebuild traffic contends with
+        foreground tenants through the normal device submission path.
+
+        Returns ``(chunks, bytes, last delivery epoch)``.
+        """
+        topology = self.topology
+        policy = topology.fault_policy
+        event = flip.event
+        origin = flip.index
+        device = self.devices[origin]
+        rebuilt = min(device.stats.bytes_written, device.capacity_bytes)
+        if rebuilt <= 0:
+            return 0, 0, flip.epoch
+        offline = self._offline_at_epoch(flip.epoch)
+        local_index = self._placement[origin][1]
+        if event.spare is not None:
+            spare_indices = topology.group_indices(event.spare)
+            targets = [spare_indices[local_index % len(spare_indices)]]
+            target_group = topology.group(event.spare)
+        else:
+            targets = [index
+                       for index in topology.group_indices(event.group)
+                       if index != origin and index not in offline]
+            target_group = topology.group(event.group)
+        if not targets:
+            return 0, 0, flip.epoch
+        # Surviving holders of the lost data: the replica devices the
+        # mirroring hook would have written (edge targets, same mapping).
+        sources = []
+        for edge in topology.edges_from(event.group):
+            indices = topology.group_indices(edge.target)
+            for replica in range(edge.policy().replication_factor):
+                source = indices[(local_index + replica) % len(indices)]
+                if source not in offline and source not in sources:
+                    sources.append(source)
+        capacity = _group_capacity(target_group)
+        half = (capacity // 2) - (capacity // 2) % 4096
+        chunk = min(policy.rebuild_chunk_bytes, max(4096, half))
+        chunks = math.ceil(rebuilt / chunk)
+        epoch_us = topology.epoch_us
+        emitted = 0
+        last_epoch = flip.epoch
+
+        def emit(target: int, kind: str, offset: int, size: int,
+                 delivery_epoch: int) -> None:
+            seq = self._origin_seq.get(origin, 0)
+            self._origin_seq[origin] = seq + 1
+            self._outbound.append(ReplicaMessage(
+                delivery_us=delivery_epoch * epoch_us, target_index=target,
+                offset=offset, size=size, origin_index=origin,
+                origin_seq=seq, delivery_epoch=delivery_epoch, kind=kind))
+
+        for j in range(chunks):
+            size = min(chunk, rebuilt - j * chunk)
+            size += (-size) % 4096
+            delivery_epoch = flip.epoch + 1 + j // policy.rebuild_chunks_per_epoch
+            if sources:
+                emit(sources[j % len(sources)], "rebuild-read",
+                     j * chunk, size, delivery_epoch)
+            emit(targets[j % len(targets)], "rebuild",
+                 j * chunk, size, delivery_epoch)
+            emitted += size
+            last_epoch = delivery_epoch
+        return chunks, emitted, last_epoch
+
+    def _offline_at_epoch(self, epoch: int) -> set[int]:
+        """Global indices offline at barrier ``epoch`` per the *declared*
+        schedule -- computed from the topology alone so survivor selection
+        is identical in every shard layout.  Devices failing at the same
+        barrier conservatively see each other as offline."""
+        epoch_us = self.topology.epoch_us
+        offline: set[int] = set()
+        for event in self.topology.faults:
+            down = fault_epoch(event.at_us, epoch_us)
+            back = repair_epoch(event, epoch_us)
+            if down <= epoch and (back is None or back > epoch):
+                offline.update(self._fault_indices(event))
+        return offline
 
     # -- collection --------------------------------------------------------
     def collect(self) -> dict[str, Any]:
         """Serialize the shard's measurements (JSON/pickle-safe payload)."""
         tenants: dict[str, dict[str, Any]] = {}
-        for tenant_name, index, result, accumulator in self._runs:
+        for tenant_name, index, result, accumulator, record in self._runs:
             tenants.setdefault(tenant_name, {})[str(index)] = \
-                _result_payload(result, accumulator)
-        return {
+                _result_payload(result, accumulator, record)
+        payload = {
             "shard_id": self.plan.shard_id,
             "scheduled_events": self.sim.scheduled_events,
             "tenants": tenants,
             "replicas": self._replica_stats,
         }
+        if self.topology.faults:
+            payload["rebuilds"] = self._rebuild_stats
+            payload["rebuild_reads"] = self._rebuild_read_stats
+            payload["fault_windows"] = self._fault_windows
+            payload["shed"] = {
+                str(index): {"ios": proxy.shed_ios, "bytes": proxy.shed_bytes}
+                for index, proxy in sorted(self._fault_proxies.items())
+                if proxy.shed_ios
+            }
+        return payload
 
 
-def _result_payload(result, accumulator: Optional[dict]) -> dict[str, Any]:
+def _result_payload(result, accumulator: Optional[dict],
+                    record: Optional[list] = None) -> dict[str, Any]:
     """Uniform per-(tenant, device) payload for Job- and Replay-results."""
     events = result.timeline.events()
     if accumulator is None:  # JobResult
@@ -351,7 +652,7 @@ def _result_payload(result, accumulator: Optional[dict]) -> dict[str, Any]:
         bytes_read = accumulator["bytes_read"]
         bytes_written = accumulator["bytes_written"]
         ios = result.ios_completed
-    return {
+    payload = {
         "ios_completed": ios,
         "bytes_read": bytes_read,
         "bytes_written": bytes_written,
@@ -360,6 +661,9 @@ def _result_payload(result, accumulator: Optional[dict]) -> dict[str, Any]:
         "latency": result.latency.samples.tolist(),
         "timeline": [[time_us, num_bytes] for time_us, num_bytes in events],
     }
+    if record is not None:
+        payload["completion_times"] = record
+    return payload
 
 
 # ---------------------------------------------------------------------------

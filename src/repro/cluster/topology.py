@@ -33,6 +33,7 @@ import json
 from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional, Sequence
 
+from repro.cluster.faults import FaultEvent, FaultPolicy
 from repro.determinism import canonical_json
 from repro.ebs.replication import ReplicationPolicy
 from repro.host.io import MiB
@@ -166,6 +167,13 @@ class FleetTopology:
     groups: tuple[DeviceGroup, ...]
     tenants: tuple[Tenant, ...] = ()
     edges: tuple[ReplicationEdge, ...] = ()
+    #: Declarative fault schedule: device/node failures, drains, repairs.
+    #: Fault state flips are quantized to ``epoch_us`` barriers (see
+    #: :mod:`repro.cluster.faults`), so faulted runs stay bit-identical
+    #: across shard layouts exactly like replica deliveries do.
+    faults: tuple[FaultEvent, ...] = ()
+    #: Rebuild pacing + overload-shedding knobs for the fault schedule.
+    fault_policy: FaultPolicy = FaultPolicy()
     #: Conservative synchronization window; also the replica-delivery
     #: quantum (see module docstring).
     epoch_us: float = DEFAULT_EPOCH_US
@@ -197,6 +205,22 @@ class FleetTopology:
                     f"{by_name[edge.target].count} devices")
         if self.epoch_us <= 0:
             raise ValueError("epoch_us must be positive")
+        for fault in self.faults:
+            if fault.group not in known:
+                raise ValueError(f"fault targets unknown group {fault.group!r}")
+            if fault.device is not None and \
+                    fault.device >= by_name[fault.group].count:
+                raise ValueError(
+                    f"fault device index {fault.device} out of range for "
+                    f"group {fault.group!r} of {by_name[fault.group].count}")
+            if fault.spare is not None:
+                if fault.spare not in known:
+                    raise ValueError(
+                        f"fault names unknown spare group {fault.spare!r}")
+                if fault.spare == fault.group:
+                    raise ValueError(
+                        f"fault spare group {fault.spare!r} may not be the "
+                        "failed group itself")
 
     # -- enumeration -------------------------------------------------------
     @property
@@ -239,6 +263,8 @@ class FleetTopology:
             "groups": [group.to_payload() for group in self.groups],
             "tenants": [tenant.to_payload() for tenant in self.tenants],
             "edges": [edge.to_payload() for edge in self.edges],
+            "faults": [fault.to_payload() for fault in self.faults],
+            "fault_policy": self.fault_policy.to_payload(),
             "epoch_us": self.epoch_us,
             "seed": self.seed,
         }
@@ -257,6 +283,9 @@ class FleetTopology:
                           for entry in payload.get("tenants", ())),
             edges=tuple(ReplicationEdge.from_payload(entry)
                         for entry in payload.get("edges", ())),
+            faults=tuple(FaultEvent.from_payload(entry)
+                         for entry in payload.get("faults", ())),
+            fault_policy=FaultPolicy.from_payload(payload.get("fault_policy")),
             epoch_us=payload.get("epoch_us", DEFAULT_EPOCH_US),
             seed=payload.get("seed", 17),
         )
@@ -292,10 +321,23 @@ def edge(source: str, target: str, replication_factor: int = 1) -> ReplicationEd
                            replication_factor=replication_factor)
 
 
+def fault(kind: str, group_name: str, at_us: float,
+          device: Optional[int] = None,
+          repair_after_us: Optional[float] = None,
+          spare: Optional[str] = None) -> FaultEvent:
+    return FaultEvent(kind=kind, group=group_name, at_us=at_us,
+                      device=device, repair_after_us=repair_after_us,
+                      spare=spare)
+
+
 def fleet(name: str, groups: Sequence[DeviceGroup],
           tenants: Sequence[Tenant] = (),
           edges: Sequence[ReplicationEdge] = (),
+          faults: Sequence[FaultEvent] = (),
+          fault_policy: Optional[FaultPolicy] = None,
           epoch_us: float = DEFAULT_EPOCH_US, seed: int = 17) -> FleetTopology:
     return FleetTopology(name=name, groups=tuple(groups),
                          tenants=tuple(tenants), edges=tuple(edges),
+                         faults=tuple(faults),
+                         fault_policy=fault_policy or FaultPolicy(),
                          epoch_us=epoch_us, seed=seed)

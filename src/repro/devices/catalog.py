@@ -40,8 +40,14 @@ def _apply_overrides(profile, overrides: dict):
 @register_device("SSD")
 def _build_ssd(sim: "Simulator", capacity_bytes: Optional[int] = None,
                name: Optional[str] = None, **overrides) -> SsdDevice:
-    profile = samsung_970pro_profile(capacity_bytes) if capacity_bytes \
-        else samsung_970pro_profile()
+    # op_ratio parameterizes the profile derivation (the geometry is built
+    # around it), so it is not a plain profile-field override.
+    profile_kwargs = {}
+    if "op_ratio" in overrides:
+        profile_kwargs["op_ratio"] = overrides.pop("op_ratio")
+    if capacity_bytes:
+        profile_kwargs["capacity_bytes"] = capacity_bytes
+    profile = samsung_970pro_profile(**profile_kwargs)
     profile = _apply_overrides(profile, overrides)
     return SsdDevice(sim, profile, name=name or "SSD")
 

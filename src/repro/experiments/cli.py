@@ -27,6 +27,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments import runner as paper_runner  # noqa: F401  (registers run_all)
@@ -174,12 +175,28 @@ def _cmd_fleet(args) -> int:
         coordinator_kwargs["run_ahead"] = args.run_ahead
     coordinator = FleetCoordinator(**coordinator_kwargs)
     reports = []
+    fault_changes = {}
+    if args.faults is not None:
+        from repro.cluster.faults import parse_fault_spec
+
+        text = args.faults
+        if text.startswith("@"):
+            text = Path(text[1:]).read_text()
+        try:
+            events, policy = parse_fault_spec(text)
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as error:
+            print(f"error: bad --faults spec: {error}", file=sys.stderr)
+            return 2
+        fault_changes = {"faults": events, "fault_policy": policy}
     for cell in fleet_cells:
-        if args.epoch_us is not None:
-            # Fold the override into the cell so the cache key sees it (a
-            # different synchronization window is different physics).
-            scaled = FleetTopology.from_json(cell.fleet).scaled(
-                epoch_us=args.epoch_us)
+        if args.epoch_us is not None or fault_changes:
+            # Fold the overrides into the cell so the cache key sees them (a
+            # different synchronization window or fault schedule is
+            # different physics).
+            changes = dict(fault_changes)
+            if args.epoch_us is not None:
+                changes["epoch_us"] = args.epoch_us
+            scaled = FleetTopology.from_json(cell.fleet).scaled(**changes)
             cell = replace(cell, fleet=scaled.canonical())
         topology = FleetTopology.from_json(cell.fleet)
         metrics = None if (cache is None or args.force) \
@@ -224,6 +241,18 @@ def _cmd_fleet(args) -> int:
               f"mean {fleet_metrics['mean_us']:.1f}us, "
               f"p99.9 {fleet_metrics['p999_us']:.1f}us, "
               f"{fleet_metrics['throughput_gbps']:.3f} GB/s aggregate")
+        faults = payload.get("faults")
+        if faults:
+            during, steady = faults["during_rebuild"], faults["steady"]
+            print(f"faults: {len(faults['events'])} event(s), "
+                  f"{faults['degraded_us']:.0f}us degraded, rebuild "
+                  f"{faults['rebuild_writes']} chunks / "
+                  f"{faults['rebuild_bytes']} bytes "
+                  f"({faults['rebuild_gbps']:.3f} GB/s), "
+                  f"shed {faults['shed_ios']} ios")
+            print(f"  p99 during rebuild {during['p99_us']:.1f}us "
+                  f"({during['ios']} ios) vs steady "
+                  f"{steady['p99_us']:.1f}us ({steady['ios']} ios)")
         if runtime is None:
             print("runtime: cached result (use --force to re-run)")
         else:
@@ -233,7 +262,6 @@ def _cmd_fleet(args) -> int:
                   f"{runtime['wall_s']:.2f}s wall, "
                   f"{runtime['events_per_sec']:.0f} events/s")
     if args.out:
-        from pathlib import Path
         path = Path(args.out)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(reports, indent=2, sort_keys=True))
@@ -323,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--epoch-us", type=float, default=None,
                               help="override the topology's conservative "
                                    "synchronization window")
+    fleet_parser.add_argument("--faults", default=None, metavar="JSON|@FILE",
+                              help="fault schedule to inject: JSON text or "
+                                   "@file, either a list of fault events or "
+                                   '{"events": [...], "policy": {...}} '
+                                   "(replaces any schedule in the topology; "
+                                   "part of the cache key)")
     fleet_parser.add_argument("--run-ahead", type=int, default=None,
                               help="epochs granted per coordinator task for "
                                    "self-contained shards (default 16; 1 "

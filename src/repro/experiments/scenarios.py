@@ -167,7 +167,11 @@ def _apply_fleet_axis(payload: dict, axis: str, value: Any) -> None:
     ``fleet.<field>`` sets a topology top-level field (``epoch_us``,
     ``seed``, ...); ``fleet.<name>.<field>`` sets a device-group field
     (``count``, ``capacity_bytes``, ...) or, when ``<name>`` is a tenant, a
-    workload knob.  Groups win name collisions.
+    workload knob.  Groups win name collisions.  Two deeper forms serve the
+    fault scenarios: ``fleet.fault_policy.<field>`` sets a
+    :class:`~repro.cluster.FaultPolicy` knob (rebuild pacing / admission
+    control), and ``fleet.<group>.device_params.<field>`` a device-profile
+    override such as the SSD's over-provisioning ratio.
     """
     import repro.cluster as cluster
 
@@ -190,6 +194,25 @@ def _apply_fleet_axis(payload: dict, axis: str, value: Any) -> None:
         for tenant in payload.get("tenants", ()):
             if tenant.get("name") == head:
                 tenant.setdefault("workload", {})[leaf] = value
+                return
+        if head == "fault_policy":
+            known = {f.name for f in dataclasses.fields(cluster.FaultPolicy)}
+            if leaf not in known:
+                raise ValueError(f"fleet axis {axis!r} is not a FaultPolicy "
+                                 f"field (known: {sorted(known)})")
+            policy = dict(payload.get("fault_policy") or {})
+            policy[leaf] = value
+            payload["fault_policy"] = policy
+            return
+    if len(path) == 3 and path[1] == "device_params":
+        head, _, leaf = path
+        for group in payload.get("groups", ()):
+            if group.get("name") == head:
+                params = dict(tuple(pair)
+                              for pair in group.get("device_params", ()))
+                params[leaf] = value
+                group["device_params"] = [list(pair)
+                                          for pair in sorted(params.items())]
                 return
     raise ValueError(f"fleet axis {axis!r} matches no topology element")
 
@@ -486,6 +509,96 @@ register(scenario(
     grid={"fleet.diurnal.mean_load_gbps": (0.2, 0.4)},
     tags=("fleet", "cluster", "trace"),
 ))
+
+def _failover_storm_topology():
+    """Replicated ESSD store with a hot spare: one device fails mid-run and
+    is rebuilt onto the promoted spare while a second device drains."""
+    from repro.cluster import FaultPolicy, edge, fault, fleet, group, tenant
+
+    return fleet(
+        "failover-storm",
+        groups=[
+            group("store", "ESSD-2", 8),
+            group("mirror", "ESSD-2", 8),
+            # The spare tier sits idle until a failure promotes it; no
+            # preload so its first writes are the rebuild chunks.
+            group("spare", "ESSD-2", 2, preload=False),
+        ],
+        tenants=[
+            tenant("oltp", "store", pattern="randwrite", io_size=64 * KiB,
+                   queue_depth=8, io_count=300),
+            tenant("reads", "mirror", pattern="randread", io_size=4 * KiB,
+                   queue_depth=2, io_count=300),
+        ],
+        edges=[edge("store", "mirror", replication_factor=2)],
+        faults=[
+            fault("fail", "store", at_us=1_500.0, device=0,
+                  repair_after_us=8_000.0, spare="spare"),
+            fault("drain", "mirror", at_us=2_500.0, device=3,
+                  repair_after_us=4_000.0),
+        ],
+        fault_policy=FaultPolicy(rebuild_chunk_bytes=128 * KiB,
+                                 shed_penalty_us=150.0),
+        epoch_us=500.0,
+        seed=211,
+    )
+
+
+register(scenario(
+    "failover-storm",
+    "Device failure in a replicated ESSD store: re-replication onto a hot "
+    "spare competes with foreground traffic while a mirror device drains; "
+    "sweeps the rebuild admission rate (chunks released per epoch)",
+    devices=("fleet",),
+    fleet=_failover_storm_topology(),
+    grid={"fleet.fault_policy.rebuild_chunks_per_epoch": (2, 8, 32)},
+    tags=("fleet", "cluster", "faults"),
+))
+
+
+def _gc_cliff_topology():
+    """Mirrored SSD tier filling toward its GC cliff when a device fails:
+    rebuild traffic lands on the survivors exactly as garbage collection
+    starts charging for every foreground write."""
+    from repro.cluster import FaultPolicy, edge, fault, fleet, group, tenant
+
+    capacity = 96 * MiB
+    return fleet(
+        "gc-cliff",
+        groups=[
+            group("store", "SSD", 4, capacity_bytes=capacity, preload=False),
+            group("mirror", "SSD", 4, capacity_bytes=capacity, preload=False),
+        ],
+        tenants=[
+            # A 1.5x-capacity random-write flood: the device crosses its GC
+            # cliff mid-run, and the fault below lands while it is climbing.
+            tenant("flood", "store", pattern="randwrite", io_size=128 * KiB,
+                   queue_depth=16, total_bytes=int(1.5 * capacity)),
+        ],
+        edges=[edge("store", "mirror")],
+        # No spare: the rebuild storm round-robins onto the surviving store
+        # devices, which are themselves deep into their flood.
+        faults=[fault("fail", "store", at_us=30_000.0, device=1,
+                      repair_after_us=60_000.0)],
+        fault_policy=FaultPolicy(rebuild_chunk_bytes=256 * KiB,
+                                 rebuild_chunks_per_epoch=4),
+        epoch_us=2_000.0,
+        seed=223,
+    )
+
+
+register(scenario(
+    "gc-cliff",
+    "Rebuild storm vs garbage collection: a mirrored SSD tier fails one "
+    "device mid-flood; sweeps over-provisioning ratio x write-footprint "
+    "utilization to map how much OP headroom the rebuild window needs",
+    devices=("fleet",),
+    fleet=_gc_cliff_topology(),
+    grid={"fleet.store.device_params.op_ratio": (0.07, 0.2),
+          "fleet.flood.region_bytes": (48 * MiB, 96 * MiB)},
+    tags=("fleet", "cluster", "faults", "gc"),
+))
+
 
 register(scenario(
     "sustained-write-flood",

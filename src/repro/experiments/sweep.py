@@ -164,6 +164,15 @@ class CellSpec:
     #: executed through the cluster layer and the fleet/device/job fields
     #: above are ignored except for bookkeeping.
     fleet: Optional[str] = None
+    #: Fault schedule for this cell: canonical JSON of a fault spec
+    #: (``{"events": [...], "policy": {...}}``, see
+    #: :func:`repro.cluster.faults.parse_fault_spec`).  Fleet cells merge it
+    #: into the topology (overriding any schedule the fleet JSON carries);
+    #: device cells wrap their devices in
+    #: :class:`~repro.cluster.faults.FaultInjector` proxies with exact-time
+    #: flips.  Part of the cache key -- a different fault schedule is a
+    #: different experiment.
+    faults: Optional[str] = None
     #: Shard count for fleet cells (``SweepRunner(fleet_shards=...)`` /
     #: ``run --shards``): >1 nests cluster-level sharding inside the sweep
     #: pool's cell-level parallelism.  Excluded from the cache key --
@@ -237,7 +246,13 @@ def _job_from_cell(cell: CellSpec, name: str, overrides: Mapping[str, Any],
 
 
 def _run_stream_cell(cell: CellSpec) -> dict[str, Any]:
-    """Execute a multi-stream cell: all streams share one simulation."""
+    """Execute a multi-stream cell: all streams share one simulation.
+
+    Faulted single-device cells also route here (a faulted single-job cell
+    is just a one-stream cell): every device is wrapped in a
+    :class:`~repro.cluster.faults.FaultInjector` proxy and the schedule's
+    offline/online flips run at their exact requested times.
+    """
     from repro.devices import create_device
     from repro.experiments.common import ExperimentScale
     from repro.metrics.latency import LatencyRecorder
@@ -248,6 +263,11 @@ def _run_stream_cell(cell: CellSpec) -> dict[str, Any]:
     scale = ExperimentScale(ssd_capacity_bytes=cell.ssd_capacity_bytes,
                             essd_capacity_bytes=cell.essd_capacity_bytes)
     tracer = Tracer(sim) if cell.trace else None
+    fault_events = fault_policy = None
+    if cell.faults is not None:
+        from repro.cluster.faults import parse_fault_spec
+        fault_events, fault_policy = parse_fault_spec(cell.faults)
+    proxies = []
     devices: dict[str, Any] = {}
     streams = []
     # A traced single-job cell is just a one-stream cell.
@@ -263,6 +283,11 @@ def _run_stream_cell(cell: CellSpec) -> dict[str, Any]:
                 device.preload()
             if tracer is not None:
                 device.set_tracer(tracer)
+            if fault_events is not None:
+                from repro.cluster.faults import schedule_cell_faults
+                device = schedule_cell_faults(sim, [device], fault_events,
+                                              fault_policy)[0]
+                proxies.append(device)
             devices[device_name] = device
         streams.append((device, _job_from_cell(cell, name, overrides, index),
                         device_name))
@@ -306,6 +331,9 @@ def _run_stream_cell(cell: CellSpec) -> dict[str, Any]:
             "p99_us": stream_summary.p99_us,
             "p999_us": stream_summary.p999_us,
         }
+    if proxies:
+        metrics["shed_ios"] = sum(proxy.shed_ios for proxy in proxies)
+        metrics["shed_bytes"] = sum(proxy.shed_bytes for proxy in proxies)
     if tracer is not None:
         metrics["trace"] = tracer.to_payload()
     return metrics
@@ -343,6 +371,11 @@ def _run_fleet_cell(cell: CellSpec) -> dict[str, Any]:
     from repro.cluster import FleetCoordinator, FleetTopology
 
     topology = FleetTopology.from_json(cell.fleet)
+    if cell.faults is not None:
+        from repro.cluster.faults import parse_fault_spec
+
+        events, policy = parse_fault_spec(cell.faults)
+        topology = topology.scaled(faults=events, fault_policy=policy)
     shards = max(1, cell.fleet_shards)
     payload = FleetCoordinator(shards=shards, processes=shards > 1).run(topology)
     return fleet_cell_metrics(payload)
@@ -363,6 +396,11 @@ def _run_trace_cell(cell: CellSpec) -> dict[str, Any]:
                           device_params=dict(cell.device_params))
     if cell.preload:
         device.preload()
+    if cell.faults is not None:
+        from repro.cluster.faults import parse_fault_spec, schedule_cell_faults
+
+        events, policy = parse_fault_spec(cell.faults)
+        device = schedule_cell_faults(sim, [device], events, policy)[0]
     params = dict(cell.pattern_params)
     params.setdefault("duration_us", cell.runtime_us or 100_000.0)
     params.setdefault("io_size", cell.io_size)
@@ -373,7 +411,7 @@ def _run_trace_cell(cell: CellSpec) -> dict[str, Any]:
     result = replay_trace(sim, device, trace)
     summary = result.latency.summary()
     duration = result.timeline.duration_us
-    return {
+    metrics = {
         "ios_completed": result.ios_completed,
         "bytes_read": trace.read_bytes(),
         "bytes_written": trace.write_bytes(),
@@ -389,6 +427,10 @@ def _run_trace_cell(cell: CellSpec) -> dict[str, Any]:
         "offered_mean_gbps": trace.mean_load_gbps(),
         "offered_peak_gbps": trace.peak_load_gbps(),
     }
+    if cell.faults is not None:
+        metrics["shed_ios"] = device.shed_ios
+        metrics["shed_bytes"] = device.shed_bytes
+    return metrics
 
 
 def run_cell(cell: CellSpec) -> dict[str, Any]:
@@ -405,7 +447,9 @@ def run_cell(cell: CellSpec) -> dict[str, Any]:
         return _run_fleet_cell(cell)
     if cell.pattern.startswith("trace-"):
         return _run_trace_cell(cell)
-    if cell.streams:
+    if cell.streams or cell.faults is not None:
+        # Faulted single-job cells route through the stream runner, which
+        # knows how to wrap devices in FaultInjector proxies.
         return _run_stream_cell(cell)
 
     kind = DeviceKind(cell.device)
@@ -751,6 +795,14 @@ def quick_cells(cells: Sequence[CellSpec], io_count: int = 60) -> list[CellSpec]
             if workload.get("duration_us") is not None:
                 workload["duration_us"] = min(workload["duration_us"],
                                               QUICK_TRACE_DURATION_US)
+            if workload.get("total_bytes") is not None:
+                # Byte-bounded tenant floods shrink like device cells: an
+                # eighth of the volume, floored at io_count I/Os.
+                tenant_io_size = workload.get("io_size", 4096)
+                workload["total_bytes"] = min(
+                    workload["total_bytes"],
+                    max(tenant_io_size * io_count,
+                        workload["total_bytes"] // 8))
         return canonical_json(payload)
     def shrink_streams(cell: CellSpec) -> tuple:
         shrunk_streams = []

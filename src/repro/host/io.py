@@ -49,6 +49,10 @@ class IORequest:
     complete_time: Optional[float] = None
     #: Free-form annotation (e.g. the workload stream that issued it).
     tag: Any = None
+    #: Set by :class:`repro.cluster.faults.FaultInjector` when the request
+    #: was shed (refused fast) instead of served -- downstream hooks such
+    #: as replication mirroring skip shed writes.
+    shed: bool = False
 
     def __post_init__(self) -> None:
         if self.offset < 0:

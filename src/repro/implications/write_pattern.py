@@ -11,7 +11,7 @@ software layer's own write amplification to decide.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping
 
 from repro.metrics.stats import throughput_gain
 

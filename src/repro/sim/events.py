@@ -21,7 +21,6 @@ common pattern -- is always safe, as is passing such events to
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

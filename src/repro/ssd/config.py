@@ -136,14 +136,23 @@ class SsdConfig:
         return replace(self, capacity_bytes=capacity_bytes, geometry=geometry)
 
 
-def samsung_970pro_profile(capacity_bytes: int = 2 * GiB) -> SsdConfig:
+def samsung_970pro_profile(capacity_bytes: int = 2 * GiB,
+                           op_ratio: float = 0.11) -> SsdConfig:
     """A Samsung-970-Pro-like configuration at the requested (scaled) capacity.
 
     The paper's device is 1 TB; experiments in this repository default to a
     scaled-down capacity (see DESIGN.md, "Scaling convention") with the
     over-provisioning ratio, buffer-to-capacity ratio, and all latency
     constants preserved.
+
+    ``op_ratio`` sets the spare-to-data superblock ratio (the real part's
+    ~11% by default).  The over-provisioning sweep scenarios
+    (``gc-cliff``) vary it to map how much spare headroom the GC cliff
+    needs; the 4-superblock-per-die GC floor still applies, so very small
+    ratios saturate at the floor on tiny test capacities.
     """
+    if not 0.0 <= op_ratio < 1.0:
+        raise ValueError(f"op_ratio must be in [0, 1), got {op_ratio}")
     geometry = FlashGeometry(
         channels=8,
         dies_per_channel=4,
@@ -181,7 +190,7 @@ def samsung_970pro_profile(capacity_bytes: int = 2 * GiB) -> SsdConfig:
         if data_blocks_per_die >= 16 or pages_per_block <= 4:
             break
         pages_per_block //= 2
-    spare_blocks_per_die = max(4, round(0.11 * data_blocks_per_die))
+    spare_blocks_per_die = max(4, round(op_ratio * data_blocks_per_die))
     blocks_per_plane = data_blocks_per_die + spare_blocks_per_die
     geometry = FlashGeometry(
         channels=geometry.channels,

@@ -14,7 +14,7 @@ import math
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.host.device import BlockDevice
 from repro.host.io import IOKind, KiB

@@ -3,12 +3,16 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster import (
+    FaultPolicy,
     FleetCoordinator,
     FleetTopology,
     ShardWorker,
     edge,
+    fault,
     fleet,
     group,
     partition_topology,
@@ -427,3 +431,104 @@ def test_registered_fleet_scenarios_are_well_formed():
 def test_shard_plan_payload_roundtrip():
     plan = ShardPlan(shard_id=2, device_indices=(1, 4, 5))
     assert ShardPlan.from_payload(plan.to_payload()) == plan
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection layout independence
+# ---------------------------------------------------------------------------
+
+def faulty_mini_fleet(faults, policy, epoch_us=200.0) -> FleetTopology:
+    """mini_fleet plus a cold spare tier so fail events can promote one."""
+    return fleet(
+        "faulty-mini-under-test",
+        groups=[
+            group("web", "LOOP", 3, capacity_bytes=MINI_CAPACITY),
+            group("db", "LOOP", 2, capacity_bytes=MINI_CAPACITY),
+            group("mirror", "LOOP", 2, capacity_bytes=MINI_CAPACITY),
+            group("spare", "LOOP", 1, capacity_bytes=MINI_CAPACITY,
+                  preload=False),
+        ],
+        tenants=[
+            tenant("frontend", "web", pattern="randread", io_size=4096,
+                   queue_depth=2, io_count=15),
+            tenant("oltp", "db", pattern="randwrite", io_size=8192,
+                   queue_depth=2, io_count=20),
+        ],
+        edges=[edge("db", "mirror", replication_factor=2)],
+        faults=faults,
+        fault_policy=policy,
+        epoch_us=epoch_us,
+        seed=5,
+    )
+
+
+_FAULT_SIZES = (3, 2, 2)  # devices in web / db / mirror
+
+
+@st.composite
+def fault_events(draw):
+    kind = draw(st.sampled_from(("fail", "drain")))
+    group_index = draw(st.integers(min_value=0, max_value=2))
+    group_name = ("web", "db", "mirror")[group_index]
+    at_us = draw(st.floats(min_value=0.0, max_value=2500.0,
+                           allow_nan=False, allow_infinity=False))
+    device = draw(st.one_of(
+        st.none(),
+        st.integers(min_value=0, max_value=_FAULT_SIZES[group_index] - 1)))
+    repair = draw(st.one_of(
+        st.none(),
+        st.floats(min_value=50.0, max_value=2000.0,
+                  allow_nan=False, allow_infinity=False)))
+    spare = draw(st.sampled_from((None, "spare"))) if kind == "fail" else None
+    return fault(kind, group_name, at_us=at_us, device=device,
+                 repair_after_us=repair, spare=spare)
+
+
+fault_policies = st.builds(
+    FaultPolicy,
+    rebuild_chunk_bytes=st.sampled_from((4096, 65536)),
+    rebuild_chunks_per_epoch=st.sampled_from((1, 4)),
+    shed_penalty_us=st.sampled_from((25.0, 100.0)),
+    max_inflight=st.sampled_from((None, 4)),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    faults=st.lists(fault_events(), min_size=1, max_size=3),
+    policy=fault_policies,
+    epoch_us=st.sampled_from((150.0, 200.0, 250.0)),
+)
+def test_random_fault_schedules_stay_layout_independent(
+        faults, policy, epoch_us):
+    """Any declarative fault schedule — whatever it fails, drains, repairs
+    or promotes — must leave shards=N bit-identical to the serial run for
+    every run-ahead window."""
+    topology = faulty_mini_fleet(faults, policy, epoch_us=epoch_us)
+    reference = json.dumps(strip_runtime(run_fleet_serial(topology)),
+                           sort_keys=True)
+    for shards, run_ahead in ((2, 1), (2, 16), (4, 4)):
+        payload = FleetCoordinator(shards=shards, processes=False,
+                                   run_ahead=run_ahead).run(topology)
+        assert json.dumps(strip_runtime(payload), sort_keys=True) == \
+            reference, (shards, run_ahead)
+
+
+def test_faulted_fleet_is_bit_identical_across_shard_counts():
+    """Deterministic anchor for the property above: a fail with spare
+    promotion plus a drain, active mid-run, across every layout."""
+    topology = faulty_mini_fleet(
+        [fault("fail", "db", at_us=150.0, device=0, repair_after_us=600.0,
+               spare="spare"),
+         fault("drain", "mirror", at_us=350.0, device=1,
+               repair_after_us=400.0)],
+        FaultPolicy(rebuild_chunk_bytes=16 * 4096, rebuild_chunks_per_epoch=2,
+                    shed_penalty_us=50.0))
+    serial = run_fleet_serial(topology)
+    assert serial["faults"]["shed_ios"] > 0
+    assert serial["faults"]["rebuild_writes"] > 0
+    reference = json.dumps(strip_runtime(serial), sort_keys=True)
+    for shards in (2, 3, 4):
+        sharded = FleetCoordinator(shards=shards, processes=False).run(topology)
+        assert json.dumps(strip_runtime(sharded), sort_keys=True) == \
+            reference, shards

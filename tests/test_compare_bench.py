@@ -114,12 +114,45 @@ def test_summary_markdown_is_appended(dirs, tmp_path):
     assert "| metric |" in text and "REGRESSED" in text and "FAIL" in text
 
 
-def test_committed_baselines_cover_every_tracked_metric():
+def test_baseline_dir_resolves_to_interpreter_version(tmp_path):
+    flat = tmp_path / "baselines"
+    flat.mkdir()
+    # No versioned subdirectory: the flat layout is kept.
+    assert compare_bench.resolve_baseline_dir(flat) == flat
+    versioned = flat / "py3.12"
+    versioned.mkdir()
+    assert compare_bench.resolve_baseline_dir(flat, "3.12") == versioned
+    # A version without a committed directory falls back to flat.
+    assert compare_bench.resolve_baseline_dir(flat, "3.99") == flat
+
+
+def test_main_honors_python_version_flag(dirs):
+    baseline, current = dirs
+    versioned = baseline / "py3.12"
+    versioned.mkdir()
+    write_artifacts(versioned, (3.0, 2.6, 2.7, 1.4))
+    write_artifacts(current, (3.0, 2.6, 2.7, 1.4))
+    assert compare_bench.main(["--baseline-dir", str(baseline),
+                               "--current-dir", str(current),
+                               "--python-version", "3.12"]) == 0
+    # Without versioned artifacts for 3.99 the flat (empty) dir gates:
+    # every current metric is "new" and passes.
+    assert compare_bench.main(["--baseline-dir", str(baseline),
+                               "--current-dir", str(current),
+                               "--python-version", "3.99"]) == 0
+
+
+@pytest.mark.parametrize("version", ["3.11", "3.12"])
+def test_committed_baselines_cover_every_tracked_metric(version):
     """The real benchmarks/baselines/ artifacts must expose every tracked
-    metric -- otherwise the CI gate silently loses coverage."""
+    metric for every CI matrix interpreter -- otherwise the gate silently
+    loses coverage."""
+    directory = compare_bench.resolve_baseline_dir(
+        compare_bench.BASELINE_DIR, version)
+    assert directory != compare_bench.BASELINE_DIR, \
+        f"missing baselines/py{version}/ directory"
     for artifact, metric, _direction in compare_bench.TRACKED:
-        payload = compare_bench.load_artifact(compare_bench.BASELINE_DIR,
-                                              artifact)
+        payload = compare_bench.load_artifact(directory, artifact)
         assert payload is not None, f"missing baseline {artifact}"
         assert compare_bench.lookup(payload, metric) is not None, \
             f"{artifact} baseline lacks {metric}"
@@ -128,8 +161,10 @@ def test_committed_baselines_cover_every_tracked_metric():
 def test_tracked_kernel_baseline_holds_the_paper_trajectory():
     """The committed kernel baseline must record the >=2.5x mixed/timer
     speedups this PR claims; regressing it in a later PR trips the gate."""
-    payload = compare_bench.load_artifact(compare_bench.BASELINE_DIR,
-                                          "BENCH_kernel.json")
+    payload = compare_bench.load_artifact(
+        compare_bench.resolve_baseline_dir(compare_bench.BASELINE_DIR,
+                                           "3.11"),
+        "BENCH_kernel.json")
     assert payload is not None
     assert compare_bench.lookup(
         payload, "events_per_sec.mixed.speedup") >= 2.5

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import UNWRITTEN_CONTRACT, CheckerConfig, ContractChecker
 from repro.core.contract import ObservationEvidence
-from repro.host.io import GiB, KiB, MiB
+from repro.host.io import KiB, MiB
 from repro.implications import (
     GcAdaptationAdvisor,
     IoReductionEvaluator,

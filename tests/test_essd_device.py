@@ -1,6 +1,5 @@
 """End-to-end tests of the ESSD device model (the contract's mechanisms)."""
 
-import random
 
 import pytest
 
@@ -38,7 +37,6 @@ def test_small_write_latency_dominated_by_network_and_software():
 
 
 def test_essd2_has_lower_base_latency_than_essd1():
-    _, essd1 = None, None
     sim1, dev1 = make_essd(aws_io2_profile)
     sim2, dev2 = make_essd(alibaba_pl3_profile)
     r1 = run_fio(sim1, dev1, name="a", pattern="randwrite", io_size=4 * KiB,
@@ -150,7 +148,7 @@ def test_requests_split_across_chunks_complete_atomically():
         request = yield device.write(offset, 128 * KiB)
         return request
 
-    process = sim.process(proc())
+    sim.process(proc())
     sim.run()
     assert device.stats.bytes_written == 128 * KiB
     assert device.cluster.stats.subrequest_writes == 2
@@ -158,7 +156,7 @@ def test_requests_split_across_chunks_complete_atomically():
 
 
 def test_unaligned_or_oversized_requests_rejected():
-    sim, device = make_essd()
+    _, device = make_essd()
     with pytest.raises(ValueError):
         device.read(3, 4096)
     with pytest.raises(ValueError):

@@ -172,6 +172,6 @@ def test_describe_reports_key_statistics():
 
 
 def test_preload_rejects_unaligned_ranges():
-    sim, device = make_device()
+    _, device = make_device()
     with pytest.raises(ValueError):
         device.preload(offset=100, size=4096)

@@ -7,7 +7,6 @@ import pytest
 from repro.experiments import runner as _paper_runner  # noqa: F401 (registers figures)
 from repro.experiments.cli import main as cli_main
 from repro.experiments.scenarios import (
-    ScenarioSpec,
     all_scenarios,
     get_scenario,
     register,
