@@ -70,6 +70,13 @@ TRACKED: tuple[tuple[str, str, str], ...] = (
     ("BENCH_fleet.json", "coordination.task_cut", "higher"),
     ("BENCH_fleet.json",
      "coordination.variants.batched.tasks_per_sim_second", "lower"),
+    # Macro-vs-discrete validation harness: the approximation's error
+    # envelope must not widen, and the (saturated) speedup must not
+    # collapse back toward per-device cost.
+    ("BENCH_macro.json", "validation.max_p50_err", "lower"),
+    ("BENCH_macro.json", "validation.max_p95_err", "lower"),
+    ("BENCH_macro.json", "validation.max_throughput_err", "lower"),
+    ("BENCH_macro.json", "speedup.macro_vs_discrete", "higher"),
 )
 
 

@@ -16,10 +16,12 @@ loaded from JSON via ``FleetTopology.from_json``; see ``to_payload()`` for
 the exact wire format):
 
 ``group(name, device, count, capacity_bytes=None, device_params=None,
-preload=True)``
+preload=True, mode="discrete")``
     ``count`` instances of a registered device family (``"SSD"``,
     ``"ESSD-1"``, ``"ESSD-2"``, ``"LOOP"``).  ``device_params`` override
     profile fields (e.g. ``{"replication_factor": 2}``).
+    ``mode="macro"`` replaces the ``count`` discrete simulators with one
+    calibrated mean-field aggregate (see *Macro groups* below).
 
 ``tenant(name, group, **workload)``
     One workload bound to *every* device of the group.  Plain fields make
@@ -69,6 +71,49 @@ Fleet reports from a faulted topology gain ``result["faults"]`` (shed
 I/Os, rebuild writes/reads/bytes, rebuild GB/s over the degraded window,
 and the during-rebuild vs steady latency split), per-tenant
 ``["faults"]`` splits, and per-group rebuild/shed counters.
+
+Macro groups (mean-field aggregates)
+------------------------------------
+A group declared with ``mode="macro"`` is not expanded into per-device
+simulators.  Instead ``repro.cluster.macro`` advances the whole group per
+epoch window as **one vectorized process**: a queueing approximation
+whose service-time distribution, effective concurrency, and rate are
+*calibrated* by running each tenant's workload once on a single discrete
+device (same ``derive_seed`` identity the discrete path uses, so
+calibration is layout-independent).  Group size becomes a constant-cost
+parameter -- the registered ``fleet-macro-100k`` scenario runs 100 000+
+devices in well under a minute (``python -m repro.experiments fleet
+fleet-macro-100k --quick``).
+
+What carries over exactly, what is approximate:
+
+* I/O and byte totals are **exact** (closed-loop tenants; trace tenants
+  track within a couple percent), replica fan-out bytes are exact, and
+  runs stay bit-identical across shard layouts, run-ahead windows, and
+  repeated runs.  Macro groups exchange replica traffic with discrete
+  groups in both directions, and fault schedules (shed, spare promotion,
+  paced rebuild storms) apply at the same epoch barriers.
+* Latency quantiles and throughput are **approximate**: every metrics
+  payload derived from a macro group carries ``approximate: True``
+  (tenant, group, fleet, and sweep-headline levels; exact results carry
+  no flag).  The measured error envelope -- low single-digit percent on
+  p50/p95/p99 and throughput for the calibrated families -- is recorded
+  by ``benchmarks/test_bench_macro.py`` into ``BENCH_macro.json`` (plus
+  a readable ``BENCH_macro_table.md``) and regression-gated against the
+  committed baselines by ``benchmarks/compare_bench.py``;
+  ``tests/test_macro_validation.py`` enforces the declared tolerance
+  bands per family.
+
+Calibration runs cache in-process and, when ``$REPRO_MACRO_CACHE`` is
+set, on disk -- keyed by the model fingerprint like the sweep cache, so
+editing any model source invalidates them.  Any topology can be re-run
+with groups flipped to macro (or back) from the CLI::
+
+    python -m repro.experiments fleet fleet-smoke --macro web,cache
+    python -m repro.experiments fleet fleet-smoke --macro db=discrete
+
+The override is part of the sweep cache key: macro and discrete runs of
+the same scenario never collide.
 
 Run-ahead windows
 -----------------
@@ -181,6 +226,15 @@ def main() -> None:
         serial[section] == sharded[section]
         for section in ("fleet", "tenants", "groups"))
     print(f"\nserial == sharded metrics: {identical}")
+
+    # The same topology with the web tier as a mean-field aggregate: one
+    # calibrated process instead of 8 simulators, metrics flagged
+    # approximate, replica traffic to the discrete groups unchanged.
+    macro = run_fleet_serial(topology.with_macro("web"))
+    frontend = macro["tenants"]["frontend"]
+    print(f"\n[macro web] frontend {frontend['ios_completed']} ios  "
+          f"mean {frontend['mean_us']:.1f}us  "
+          f"approximate={frontend['approximate']}")
 
 
 if __name__ == "__main__":

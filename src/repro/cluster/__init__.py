@@ -12,9 +12,14 @@ Layer 5 of the stack (kernel -> devices -> workloads -> sweeps -> cluster):
   ``shards=1`` is the serial path; every layout is bit-identical.
 * :mod:`repro.cluster.metrics` -- per-tenant / per-group / fleet-wide
   metric merges from the per-shard payloads.
+* :mod:`repro.cluster.macro` -- calibrated mean-field aggregates for
+  ``mode="macro"`` device groups: fleet size becomes a constant-cost
+  parameter (100k+ devices), with every macro metric flagged
+  ``approximate`` and validated against the discrete model by the
+  macro-vs-discrete harness.
 
 The sweep layer runs fleets through ``CellSpec.fleet``; the CLI exposes
-``python -m repro.experiments fleet <scenario> [--shards N]``.
+``python -m repro.experiments fleet <scenario> [--shards N] [--macro G]``.
 """
 
 from repro.cluster.coordinator import (
@@ -23,6 +28,7 @@ from repro.cluster.coordinator import (
     run_fleet_serial,
 )
 from repro.cluster.faults import FaultEvent, FaultInjector, FaultPolicy
+from repro.cluster.macro import MacroCalibration, MacroGroup, calibrate_workload
 from repro.cluster.metrics import fleet_headline, merge_shard_payloads
 from repro.cluster.shard import ReplicaMessage, ShardPlan, ShardWorker
 from repro.cluster.topology import (
@@ -53,6 +59,9 @@ __all__ = [
     "ShardPlan",
     "ShardWorker",
     "ReplicaMessage",
+    "MacroCalibration",
+    "MacroGroup",
+    "calibrate_workload",
     "FleetCoordinator",
     "partition_topology",
     "run_fleet_serial",

@@ -124,13 +124,42 @@ def partition_topology(topology: FleetTopology, shards: int) -> list[ShardPlan]:
 
     # Fill empty shards (more shards than clusters) by halving the heaviest
     # slice at device granularity -- this may break an edge across shards,
-    # which the message-passing loop handles.
+    # which the message-passing loop handles.  A macro group, however, is
+    # one indivisible aggregate: splits shift to the nearest atom boundary,
+    # and a slice that is one single macro atom simply cannot donate.
+    macro_atom: dict[int, int] = {}
+    for macro_group in topology.macro_groups():
+        indices = topology.group_indices(macro_group.name)
+        for index in indices:
+            macro_atom[index] = indices[0]
+
+    def _valid_split(devices: list[int], keep: int) -> bool:
+        if keep < 1 or keep >= len(devices):
+            return False
+        left, right = devices[keep - 1], devices[keep]
+        return macro_atom.get(left, -1) != macro_atom.get(right, -2)
+
     while any(not plan for plan in assignments):
-        donor = max(range(shards), key=lambda sid: (len(assignments[sid]), -sid))
-        if len(assignments[donor]) < 2:
-            break
         empty = next(sid for sid in range(shards) if not assignments[sid])
-        keep = len(assignments[donor]) // 2
+        split = None
+        for donor in sorted(range(shards),
+                            key=lambda sid: (-len(assignments[sid]), sid)):
+            devices = assignments[donor]
+            if len(devices) < 2:
+                break  # heaviest slice already minimal: nothing can donate
+            half = len(devices) // 2
+            for offset in range(half + 1):
+                for keep in (half - offset, half + offset):
+                    if _valid_split(devices, keep):
+                        split = (donor, keep)
+                        break
+                if split:
+                    break
+            if split:
+                break
+        if split is None:
+            break
+        donor, keep = split
         assignments[empty] = assignments[donor][keep:]
         assignments[donor] = assignments[donor][:keep]
 

@@ -38,6 +38,7 @@ def _summary_dict(recorder: LatencyRecorder) -> dict[str, float]:
     return {
         "mean_us": summary.mean_us,
         "p50_us": summary.p50_us,
+        "p95_us": recorder.percentile(95) if len(recorder) else 0.0,
         "p99_us": summary.p99_us,
         "p999_us": summary.p999_us,
         "max_us": summary.max_us,
@@ -56,9 +57,15 @@ class _Aggregate:
         self.finished: Optional[float] = None
         self.recorder = LatencyRecorder()
         self.events: list[tuple[float, int, int]] = []  # (t, gidx, bytes)
+        #: True when any contributing payload is a macro approximation.
+        self.approximate = False
 
     def add(self, index: int, payload: Mapping[str, Any]) -> None:
-        self.devices += 1
+        # A macro aggregate reports a whole group through one payload; its
+        # ``devices`` field carries the represented count.
+        self.devices += payload.get("devices", 1)
+        if payload.get("approximate"):
+            self.approximate = True
         self.ios += payload["ios_completed"]
         self.bytes_read += payload["bytes_read"]
         self.bytes_written += payload["bytes_written"]
@@ -99,6 +106,10 @@ class _Aggregate:
             "iops": self.ios / duration * 1e6 if duration > 0 else 0.0,
         }
         payload.update(_summary_dict(self.recorder))
+        if self.approximate:
+            # Only ever present as True: exact payloads stay unchanged, so
+            # the flag can never diff an exact run against itself.
+            payload["approximate"] = True
         return payload
 
 
@@ -256,6 +267,8 @@ def merge_shard_payloads(topology: FleetTopology,
         payload = aggregate.to_payload()
         payload["device_type"] = group.device
         payload["devices"] = group.count
+        if group.mode == "macro":
+            payload["approximate"] = True
         replica = replicas.get(group.name)
         payload["replica_writes"] = replica["count"] if replica else 0
         payload["replica_bytes"] = replica["bytes"] if replica else 0
@@ -283,6 +296,8 @@ def merge_shard_payloads(topology: FleetTopology,
 
     fleet_payload = fleet.to_payload()
     fleet_payload["devices"] = topology.total_devices
+    if topology.has_macro:
+        fleet_payload["approximate"] = True
     fleet_payload["replica_writes"] = sum(
         payload["replica_writes"] for payload in group_payloads.values())
     fleet_payload["replica_bytes"] = sum(
@@ -369,7 +384,12 @@ def _pool_by_group(table: list, shard_payloads: Sequence[Mapping[str, Any]],
 def fleet_headline(payload: Mapping[str, Any]) -> dict[str, Any]:
     """Flat headline metrics (the keys the sweep CLI tables expect)."""
     fleet = payload["fleet"]
-    return {key: fleet[key] for key in (
+    headline = {key: fleet[key] for key in (
         "ios_completed", "bytes_read", "bytes_written", "duration_us",
-        "throughput_gbps", "iops", "mean_us", "p50_us", "p99_us", "p999_us",
-        "max_us")}
+        "throughput_gbps", "iops", "mean_us", "p50_us", "p95_us", "p99_us",
+        "p999_us", "max_us")}
+    if fleet.get("approximate"):
+        # Macro (mean-field) fleets flag every derived metric; exact
+        # results carry no key at all, so cached diffs stay clean.
+        headline["approximate"] = True
+    return headline

@@ -138,6 +138,29 @@ class ShardWorker:
         self.plan = plan
         self.sim = Simulator()
         table = topology.device_table()
+        #: Macro (mean-field) groups resident on this shard, by name and by
+        #: every global index they cover.  A macro group is a zero-device
+        #: aggregate: it owns its index range for partitioning/routing but
+        #: schedules no simulator events (see :mod:`repro.cluster.macro`).
+        self._macro: dict[str, Any] = {}
+        self._macro_index: dict[int, Any] = {}
+        macro_indices: set[int] = set()
+        owned = set(plan.device_indices)
+        for macro_group in topology.macro_groups():
+            indices = topology.group_indices(macro_group.name)
+            if not owned.intersection(indices):
+                continue
+            if not owned.issuperset(indices):
+                raise ValueError(
+                    f"macro group {macro_group.name!r} split across shards: "
+                    "partition_topology must keep macro groups atomic")
+            from repro.cluster.macro import MacroGroup
+            aggregate = MacroGroup(topology, macro_group,
+                                   _group_capacity(macro_group))
+            self._macro[macro_group.name] = aggregate
+            for index in indices:
+                self._macro_index[index] = aggregate
+            macro_indices.update(indices)
         #: global index -> device instance (construction in index order keeps
         #: the shard deterministic).
         self.devices: dict[int, Any] = {}
@@ -178,6 +201,8 @@ class ShardWorker:
         wrap_all = topology.fault_policy.max_inflight is not None
 
         for index in sorted(plan.device_indices):
+            if index in macro_indices:
+                continue
             group_name, local_index = table[index]
             group = topology.group(group_name)
             device = create_device(self.sim, group.device,
@@ -215,6 +240,34 @@ class ShardWorker:
         """Global indices the event takes offline (layout-independent)."""
         indices = self.topology.group_indices(event.group)
         return indices if event.device is None else [indices[event.device]]
+
+    def _macro_emit(self, origin_index: int):
+        """Emission callback a macro group uses to send replica/rebuild
+        messages: the same per-origin sequence counter and barrier framing
+        the discrete replication hook uses."""
+        epoch_us = self.topology.epoch_us
+
+        def emit(target: int, offset: int, size: int, kind: str,
+                 delivery_epoch: int) -> None:
+            seq = self._origin_seq.get(origin_index, 0)
+            self._origin_seq[origin_index] = seq + 1
+            self._outbound.append(ReplicaMessage(
+                delivery_us=delivery_epoch * epoch_us, target_index=target,
+                offset=offset, size=size, origin_index=origin_index,
+                origin_seq=seq, delivery_epoch=delivery_epoch, kind=kind))
+        return emit
+
+    def _advance_macro(self, target_epoch: Optional[int]) -> None:
+        """Step every resident macro group to ``target_epoch`` (``None`` =
+        drain to quiescence), in group-declaration order."""
+        for name in sorted(self._macro,
+                           key=lambda n: self._macro[n].first_index):
+            aggregate = self._macro[name]
+            emit = self._macro_emit(aggregate.first_index)
+            if target_epoch is None:
+                aggregate.drain(emit)
+            else:
+                aggregate.advance_to(target_epoch, emit)
 
     # -- workload binding --------------------------------------------------
     def _bind_tenant(self, tenant: Tenant, index: int) -> None:
@@ -314,9 +367,19 @@ class ShardWorker:
 
     # -- epoch stepping ----------------------------------------------------
     def deliver(self, messages: list[ReplicaMessage]) -> None:
-        """Schedule inbound replica writes (pre-sorted by the coordinator)."""
+        """Schedule inbound replica writes (pre-sorted by the coordinator).
+
+        Messages targeting a macro-group index never touch the simulator:
+        the aggregate absorbs them into the window after their delivery
+        barrier, which is exactly when a discrete device would start
+        serving a write applied *at* the barrier.
+        """
         for message in messages:
-            self.sim.process(self._apply(message))
+            aggregate = self._macro_index.get(message.target_index)
+            if aggregate is not None:
+                aggregate.absorb(message)
+            else:
+                self.sim.process(self._apply(message))
 
     def _apply(self, message: ReplicaMessage):
         delay = message.delivery_us - self.sim.now
@@ -372,6 +435,10 @@ class ShardWorker:
             self.deliver(inbound)
         if not self_deliver:
             self._run_to(until_us)
+            if self._macro:
+                target = None if until_us is None else \
+                    int(round(until_us / self.topology.epoch_us))
+                self._advance_macro(target)
             outbound = list(self._outbound)
             self._outbound.clear()
             return outbound, self._peek(), (0 if until_us is None else 1)
@@ -405,6 +472,14 @@ class ShardWorker:
                 # a future barrier).
                 targets.append(max(self._position + 1,
                                    math.floor(peek / epoch_us) + 1))
+            for aggregate in self._macro.values():
+                # A macro group's next busy window bounds the jump the same
+                # way a pending simulator event does: stepping straight to
+                # it keeps every macro emission deliverable at the barrier
+                # the shard lands on.
+                nxt = aggregate.next_activity_epoch()
+                if nxt is not None:
+                    targets.append(max(self._position + 1, nxt))
             if self._flip_index < len(self._flips):
                 # Stop exactly on the next fault barrier: flips apply with
                 # the clock sitting on it, never mid-window.
@@ -418,6 +493,7 @@ class ShardWorker:
             self.sim.run(until=barrier)
             self._position = next_index
             executed += 1
+            self._advance_macro(next_index)
             self._route_outbound(foreign)
         peek = self._peek()
         for message in self._held:
@@ -428,7 +504,8 @@ class ShardWorker:
         """Move emitted messages to the intra-shard hold queue or the
         coordinator-bound list (self-delivery mode)."""
         for message in self._outbound:
-            if message.target_index in self.devices:
+            if message.target_index in self.devices or \
+                    message.target_index in self._macro_index:
                 self._held.append(message)
             else:
                 foreign.append(message)
@@ -454,11 +531,17 @@ class ShardWorker:
 
     def _peek(self) -> float:
         """Next pending event time, folding in pending fault barriers (a
-        fault must wake an otherwise idle fleet)."""
+        fault must wake an otherwise idle fleet) and the start of every
+        resident macro group's next busy window (its work happens inside
+        that window, so the coordinator must not grant a window past it)."""
         peek = self.sim.peek()
         if self._flip_index < len(self._flips):
             peek = min(peek, self._flips[self._flip_index].epoch
                        * self.topology.epoch_us)
+        for aggregate in self._macro.values():
+            nxt = aggregate.next_activity_epoch()
+            if nxt is not None:
+                peek = min(peek, (nxt - 1) * self.topology.epoch_us)
         return peek
 
     # -- fault application -------------------------------------------------
@@ -614,21 +697,42 @@ class ShardWorker:
         for tenant_name, index, result, accumulator, record in self._runs:
             tenants.setdefault(tenant_name, {})[str(index)] = \
                 _result_payload(result, accumulator, record)
+        replica_stats = dict(self._replica_stats)
+        rebuild_stats = dict(self._rebuild_stats)
+        fault_windows = list(self._fault_windows)
+        shed: dict[str, dict[str, int]] = {
+            str(index): {"ios": proxy.shed_ios, "bytes": proxy.shed_bytes}
+            for index, proxy in sorted(self._fault_proxies.items())
+            if proxy.shed_ios
+        }
+        # A macro group reports through the exact same schema at its first
+        # global index: one aggregate per-tenant payload (carrying its own
+        # ``devices`` count and ``approximate: True``) plus pooled
+        # replica/rebuild/shed stats.
+        for name in sorted(self._macro,
+                           key=lambda n: self._macro[n].first_index):
+            aggregate = self._macro[name]
+            anchor = str(aggregate.first_index)
+            for tenant_name, payload in aggregate.collect_tenants().items():
+                tenants.setdefault(tenant_name, {})[anchor] = payload
+            for kind, stats in aggregate.collect_inflow().items():
+                bucket = rebuild_stats if kind == "rebuild" else replica_stats
+                bucket[anchor] = stats
+            fault_windows.extend(aggregate.collect_fault_windows())
+            macro_shed = aggregate.collect_shed()
+            if macro_shed["ios"]:
+                shed[anchor] = macro_shed
         payload = {
             "shard_id": self.plan.shard_id,
             "scheduled_events": self.sim.scheduled_events,
             "tenants": tenants,
-            "replicas": self._replica_stats,
+            "replicas": replica_stats,
         }
         if self.topology.faults:
-            payload["rebuilds"] = self._rebuild_stats
+            payload["rebuilds"] = rebuild_stats
             payload["rebuild_reads"] = self._rebuild_read_stats
-            payload["fault_windows"] = self._fault_windows
-            payload["shed"] = {
-                str(index): {"ios": proxy.shed_ios, "bytes": proxy.shed_bytes}
-                for index, proxy in sorted(self._fault_proxies.items())
-                if proxy.shed_ios
-            }
+            payload["fault_windows"] = fault_windows
+            payload["shed"] = shed
         return payload
 
 

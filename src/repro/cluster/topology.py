@@ -54,6 +54,14 @@ def _pairs(mapping: Optional[Mapping[str, Any]]) -> tuple:
     return tuple(sorted((mapping or {}).items()))
 
 
+#: Device-group simulation modes: ``"discrete"`` instantiates one real
+#: :class:`repro.devices.Device` per count; ``"macro"`` replaces the whole
+#: group with one calibrated mean-field aggregate
+#: (:class:`repro.cluster.macro.MacroGroup`) whose cost is independent of
+#: ``count`` -- metrics from macro groups are flagged ``approximate``.
+GROUP_MODES = ("discrete", "macro")
+
+
 @dataclass(frozen=True)
 class DeviceGroup:
     """``count`` devices of one registered family under a shared config."""
@@ -67,10 +75,15 @@ class DeviceGroup:
     #: sorted pairs.
     device_params: tuple = ()
     preload: bool = True
+    #: ``"discrete"`` (default) or ``"macro"`` -- see :data:`GROUP_MODES`.
+    mode: str = "discrete"
 
     def __post_init__(self) -> None:
         if self.count < 1:
             raise ValueError(f"group {self.name!r} needs count >= 1")
+        if self.mode not in GROUP_MODES:
+            raise ValueError(f"group {self.name!r} has unknown mode "
+                             f"{self.mode!r} (expected one of {GROUP_MODES})")
 
     def to_payload(self) -> dict[str, Any]:
         return {
@@ -80,6 +93,7 @@ class DeviceGroup:
             "capacity_bytes": self.capacity_bytes,
             "device_params": [list(pair) for pair in self.device_params],
             "preload": self.preload,
+            "mode": self.mode,
         }
 
     @classmethod
@@ -87,6 +101,7 @@ class DeviceGroup:
         data = dict(payload)
         data["device_params"] = tuple(
             tuple(pair) for pair in data.get("device_params", ()))
+        data.setdefault("mode", "discrete")
         return cls(**data)
 
 
@@ -256,6 +271,36 @@ class FleetTopology:
     def edges_from(self, group_name: str) -> list[ReplicationEdge]:
         return [edge for edge in self.edges if edge.source == group_name]
 
+    def macro_groups(self) -> list[DeviceGroup]:
+        """The groups simulated as mean-field aggregates (may be empty)."""
+        return [group for group in self.groups if group.mode == "macro"]
+
+    @property
+    def has_macro(self) -> bool:
+        return any(group.mode == "macro" for group in self.groups)
+
+    def with_modes(self, modes: Mapping[str, str]) -> "FleetTopology":
+        """Copy with per-group simulation modes overridden.
+
+        This is the ``fleet --macro`` override: any topology can be
+        re-run with chosen groups approximated (``"macro"``) or forced
+        back to the discrete path (``"discrete"``).
+        """
+        known = {group.name for group in self.groups}
+        for name, mode in modes.items():
+            if name not in known:
+                raise ValueError(f"mode override names unknown group {name!r}")
+            if mode not in GROUP_MODES:
+                raise ValueError(f"unknown group mode {mode!r} for "
+                                 f"{name!r} (expected one of {GROUP_MODES})")
+        groups = tuple(replace(group, mode=modes.get(group.name, group.mode))
+                       for group in self.groups)
+        return replace(self, groups=groups)
+
+    def with_macro(self, *group_names: str) -> "FleetTopology":
+        """Copy with the named groups switched to ``mode="macro"``."""
+        return self.with_modes({name: "macro" for name in group_names})
+
     # -- serialization -----------------------------------------------------
     def to_payload(self) -> dict[str, Any]:
         return {
@@ -306,10 +351,11 @@ class FleetTopology:
 def group(name: str, device: str, count: int,
           capacity_bytes: Optional[int] = None,
           device_params: Optional[Mapping[str, Any]] = None,
-          preload: bool = True) -> DeviceGroup:
+          preload: bool = True, mode: str = "discrete") -> DeviceGroup:
     return DeviceGroup(name=name, device=device, count=count,
                        capacity_bytes=capacity_bytes,
-                       device_params=_pairs(device_params), preload=preload)
+                       device_params=_pairs(device_params), preload=preload,
+                       mode=mode)
 
 
 def tenant(name: str, group_name: str, **workload) -> Tenant:

@@ -181,22 +181,41 @@ def _cmd_fleet(args) -> int:
 
         text = args.faults
         if text.startswith("@"):
-            text = Path(text[1:]).read_text()
+            try:
+                text = Path(text[1:]).read_text()
+            except OSError as error:
+                print(f"error: cannot read --faults file: {error}",
+                      file=sys.stderr)
+                return 2
         try:
             events, policy = parse_fault_spec(text)
         except (ValueError, TypeError, KeyError, json.JSONDecodeError) as error:
             print(f"error: bad --faults spec: {error}", file=sys.stderr)
             return 2
         fault_changes = {"faults": events, "fault_policy": policy}
+    macro_modes: dict[str, str] = {}
+    for token in args.macro or ():
+        for entry in token.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            name, _, mode = entry.partition("=")
+            macro_modes[name] = mode or "macro"
     for cell in fleet_cells:
-        if args.epoch_us is not None or fault_changes:
+        if args.epoch_us is not None or fault_changes or macro_modes:
             # Fold the overrides into the cell so the cache key sees them (a
-            # different synchronization window or fault schedule is
-            # different physics).
+            # different synchronization window, fault schedule, or group
+            # simulation mode is different physics).
             changes = dict(fault_changes)
             if args.epoch_us is not None:
                 changes["epoch_us"] = args.epoch_us
-            scaled = FleetTopology.from_json(cell.fleet).scaled(**changes)
+            try:
+                scaled = FleetTopology.from_json(cell.fleet).scaled(**changes)
+                if macro_modes:
+                    scaled = scaled.with_modes(macro_modes)
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
             cell = replace(cell, fleet=scaled.canonical())
         topology = FleetTopology.from_json(cell.fleet)
         metrics = None if (cache is None or args.force) \
@@ -357,6 +376,14 @@ def build_parser() -> argparse.ArgumentParser:
                                    '{"events": [...], "policy": {...}} '
                                    "(replaces any schedule in the topology; "
                                    "part of the cache key)")
+    fleet_parser.add_argument("--macro", action="append", default=None,
+                              metavar="GROUP[=MODE][,GROUP...]",
+                              help="override group simulation modes, e.g. "
+                                   "'--macro web' or '--macro web=macro,"
+                                   "db=discrete': macro groups run as "
+                                   "calibrated mean-field aggregates "
+                                   "(metrics flagged approximate; part of "
+                                   "the cache key)")
     fleet_parser.add_argument("--run-ahead", type=int, default=None,
                               help="epochs granted per coordinator task for "
                                    "self-contained shards (default 16; 1 "

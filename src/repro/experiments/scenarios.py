@@ -600,6 +600,50 @@ register(scenario(
 ))
 
 
+def _macro_100k_topology():
+    """100k devices as four calibrated macro groups: fleet size is a
+    constant-cost parameter, so the whole run is four aggregate processes
+    plus their per-tenant calibration probes."""
+    from repro.cluster import fleet, group, tenant
+
+    return fleet(
+        "fleet-macro-100k",
+        groups=[
+            group("web", "SSD", 40_000, mode="macro"),
+            group("db", "SSD", 25_000, mode="macro"),
+            group("cache", "ESSD-2", 20_000, mode="macro"),
+            group("bulk", "ESSD-1", 15_000, mode="macro"),
+        ],
+        tenants=[
+            tenant("frontend", "web", pattern="randread", io_size=4 * KiB,
+                   queue_depth=4, io_count=400),
+            tenant("oltp", "db", pattern="randwrite", io_size=16 * KiB,
+                   queue_depth=8, io_count=300),
+            tenant("lookup", "cache", pattern="randrw", io_size=16 * KiB,
+                   queue_depth=4, write_ratio=0.3, io_count=300),
+            tenant("ingest", "bulk", pattern="write", io_size=256 * KiB,
+                   queue_depth=8, io_count=300),
+        ],
+        # No edges or faults: the coordinator's fast path drains each macro
+        # group in one shot, which is what makes 100k devices run in
+        # seconds.  fleet --macro on fleet-smoke covers the edged case.
+        epoch_us=1000.0,
+        seed=241,
+    )
+
+
+register(scenario(
+    "fleet-macro-100k",
+    "Mean-field fleet at datacenter scale: 100k devices across four macro "
+    "groups, advanced as calibrated aggregates (metrics approximate=True); "
+    "sweeps the web tier from 40k to 60k devices",
+    devices=("fleet",),
+    fleet=_macro_100k_topology(),
+    grid={"fleet.web.count": (40_000, 60_000)},
+    tags=("fleet", "cluster", "macro"),
+))
+
+
 register(scenario(
     "sustained-write-flood",
     "Sustained random-write flood: GC cliff vs provider flow limit "

@@ -8,7 +8,8 @@ from benchmarks import compare_bench
 
 
 def write_artifacts(directory, kernel_speedups, batched_tasks=40.0,
-                    task_cut=11.0):
+                    task_cut=11.0, macro_errs=(0.01, 0.03, 0.04),
+                    macro_speedup=50.0):
     immediate, mixed, timer, roundtrip = kernel_speedups
     (directory / "BENCH_kernel.json").write_text(json.dumps({
         "events_per_sec": {
@@ -23,6 +24,15 @@ def write_artifacts(directory, kernel_speedups, batched_tasks=40.0,
             "task_cut": task_cut,
             "variants": {"batched": {"tasks_per_sim_second": batched_tasks}},
         },
+    }))
+    p50_err, p95_err, throughput_err = macro_errs
+    (directory / "BENCH_macro.json").write_text(json.dumps({
+        "validation": {
+            "max_p50_err": p50_err,
+            "max_p95_err": p95_err,
+            "max_throughput_err": throughput_err,
+        },
+        "speedup": {"macro_vs_discrete": macro_speedup},
     }))
 
 
@@ -74,6 +84,28 @@ def test_lower_is_better_regression_fails(dirs):
     assert regressions == 1
     bad = [row for row in rows if row["status"] == "REGRESSED"]
     assert bad[0]["metric"].endswith("tasks_per_sim_second")
+
+
+def test_macro_error_envelope_widening_fails(dirs):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
+    # The macro approximation drifted: p50 error doubled past the band.
+    write_artifacts(current, (3.0, 2.6, 2.7, 1.4),
+                    macro_errs=(0.02, 0.03, 0.04))
+    rows, regressions = compare_bench.compare(baseline, current, 0.10)
+    assert regressions == 1
+    bad = [row for row in rows if row["status"] == "REGRESSED"]
+    assert len(bad) == 1 and bad[0]["metric"].endswith("max_p50_err")
+
+
+def test_macro_speedup_collapse_fails(dirs):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
+    write_artifacts(current, (3.0, 2.6, 2.7, 1.4), macro_speedup=4.0)
+    rows, regressions = compare_bench.compare(baseline, current, 0.10)
+    assert regressions == 1
+    bad = [row for row in rows if row["status"] == "REGRESSED"]
+    assert len(bad) == 1 and bad[0]["metric"].endswith("macro_vs_discrete")
 
 
 def test_missing_current_artifact_fails_loudly(dirs):

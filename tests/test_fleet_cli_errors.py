@@ -1,0 +1,161 @@
+"""Error paths of the ``fleet`` CLI verb, and approximate-flag plumbing
+through sweep results and ``diff_results``.
+
+Every malformed input must fail with exit code 2 and a single ``error:``
+line on stderr -- never a traceback.  The diff half covers the macro
+contract: ``approximate=True`` survives cache round-trips, save/load, and
+result diffs, and a macro-vs-macro diff reports zero change (no false
+regressions from the approximation itself).
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import fleet, group, tenant
+from repro.experiments.cli import main as cli_main
+from repro.experiments.scenarios import register, scenario
+from repro.experiments.sweep import SweepResult, SweepRunner, diff_results
+
+MINI_CAPACITY = 1 << 24
+
+
+def error_fleet():
+    return fleet(
+        "cli-errors-under-test",
+        groups=[group("web", "LOOP", 3, capacity_bytes=MINI_CAPACITY)],
+        tenants=[tenant("t", "web", pattern="randwrite", io_size=4096,
+                        queue_depth=1, io_count=10)],
+        epoch_us=200.0,
+        seed=3,
+    )
+
+
+@pytest.fixture()
+def error_scenario():
+    spec = scenario(
+        "cli-errors-under-test", "test-only error-path fleet",
+        devices=("fleet",),
+        fleet=error_fleet(),
+    )
+    register(spec, replace=True)
+    return spec
+
+
+def run_cli(args):
+    return cli_main(["fleet", "cli-errors-under-test", "--serial",
+                     "--no-cache", *args])
+
+
+def assert_cli_error(capsys, args, needle):
+    assert run_cli(args) == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert needle in captured.err
+    assert "Traceback" not in captured.err
+
+
+# ---------------------------------------------------------------------------
+# --faults error paths
+# ---------------------------------------------------------------------------
+
+def test_faults_file_missing_is_a_clean_error(error_scenario, tmp_path,
+                                              capsys):
+    missing = tmp_path / "nope.json"
+    assert_cli_error(capsys, ["--faults", f"@{missing}"],
+                     "cannot read --faults file")
+
+
+def test_faults_malformed_json_is_a_clean_error(error_scenario, tmp_path,
+                                                capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert_cli_error(capsys, ["--faults", f"@{bad}"], "bad --faults spec")
+    # Inline specs hit the same parser.
+    assert_cli_error(capsys, ["--faults", "{not json"], "bad --faults spec")
+
+
+def test_faults_unknown_group_is_a_clean_error(error_scenario, capsys):
+    spec = json.dumps([{"kind": "fail", "group": "nosuch", "at_us": 100.0}])
+    assert_cli_error(capsys, ["--faults", spec], "nosuch")
+
+
+def test_faults_unknown_device_index_is_a_clean_error(error_scenario, capsys):
+    spec = json.dumps([{"kind": "fail", "group": "web", "device": 99,
+                        "at_us": 100.0}])
+    assert_cli_error(capsys, ["--faults", spec], "99")
+
+
+def test_faults_wrong_spec_shape_is_a_clean_error(error_scenario, capsys):
+    assert_cli_error(capsys, ["--faults", json.dumps({"events": 42})],
+                     "bad --faults spec")
+
+
+# ---------------------------------------------------------------------------
+# --macro error paths
+# ---------------------------------------------------------------------------
+
+def test_macro_unknown_group_is_a_clean_error(error_scenario, capsys):
+    assert_cli_error(capsys, ["--macro", "nosuch"],
+                     "unknown group 'nosuch'")
+
+
+def test_macro_unknown_mode_is_a_clean_error(error_scenario, capsys):
+    assert_cli_error(capsys, ["--macro", "web=quantum"],
+                     "unknown group mode 'quantum'")
+
+
+def test_macro_valid_override_still_succeeds(error_scenario, capsys):
+    assert run_cli(["--macro", "web"]) == 0
+    assert "error:" not in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# approximate=True through sweep results and diff_results
+# ---------------------------------------------------------------------------
+
+def _macro_sweep(tmp_path, name, macro):
+    topology = error_fleet()
+    if macro:
+        topology = topology.with_macro("web")
+    spec = scenario(name, "test-only diff fleet", devices=("fleet",),
+                    fleet=topology)
+    register(spec, replace=True)
+    runner = SweepRunner(cache_dir=tmp_path / name)
+    return runner.run_cells(spec.name, spec.cells())
+
+
+def test_approximate_flag_survives_cache_save_load_and_diff(tmp_path):
+    macro = _macro_sweep(tmp_path, "diff-macro-under-test", macro=True)
+    exact = _macro_sweep(tmp_path, "diff-exact-under-test", macro=False)
+
+    flagged = macro.outcomes[0].metrics
+    assert flagged["approximate"] is True
+    assert flagged["fleet"]["fleet"]["approximate"] is True
+    assert "approximate" not in exact.outcomes[0].metrics
+
+    # Save/load round-trip keeps the flag bit-exact.
+    path = tmp_path / "macro-result.json"
+    macro.save(path)
+    reloaded = SweepResult.load(path)
+    assert reloaded.outcomes[0].metrics == flagged
+
+    # A macro run diffed against itself reports zero change everywhere:
+    # the approximation flag must not read as a regression.
+    rows = diff_results(macro, reloaded, metric="throughput_gbps")
+    assert rows and all(row["relative_change"] == 0.0 for row in rows)
+
+    # Macro vs discrete is a *different* cell (mode is part of the
+    # topology, hence the cache key), so the diff reports both sides as
+    # unmatched rather than inventing a regression.
+    rows = diff_results(exact, macro, metric="throughput_gbps")
+    assert all(row["relative_change"] is None for row in rows)
+
+
+def test_cached_macro_rerun_is_a_cache_hit_with_flag_intact(tmp_path):
+    first = _macro_sweep(tmp_path, "diff-cache-under-test", macro=True)
+    second = _macro_sweep(tmp_path, "diff-cache-under-test", macro=True)
+    assert first.cache_hits == 0
+    assert second.cache_hits == len(second.outcomes)
+    assert second.outcomes[0].metrics["approximate"] is True
+    assert second.outcomes[0].metrics == first.outcomes[0].metrics
