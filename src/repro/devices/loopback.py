@@ -48,6 +48,26 @@ class LoopbackDevice(BlockDevice):
                 self._slots.release()
         return request
 
+    def _pipeline(self, request: IORequest):
+        # Flattened service pipeline (see BlockDevice._pipeline): one
+        # generator frame for the whole slot -> service -> finish chain,
+        # identical event sequence to _serve + the default pipeline.
+        slots = self._slots
+        tracer = self.tracer
+        if slots is not None:
+            if tracer is not None:
+                tracer.enter(request, "queue")
+            yield slots.request()
+        try:
+            if tracer is not None:
+                tracer.enter(request, "service")
+            yield self.sim.timeout(self.service_time_us)
+        finally:
+            if slots is not None:
+                slots.release()
+        self._finish(request)
+        return request
+
     def describe(self) -> dict:
         return {
             "name": self.name,

@@ -71,7 +71,7 @@ class StorageCluster:
         """Generator: replicate one chunk-level write and wait for the quorum."""
         group = self.chunk_map.placement_group(sub.chunk_index)
         # Request message to the storage cluster carries the payload.
-        yield from self.network.transfer(sub.size)
+        yield self.sim.timeout(self.network.transfer_delay(sub.size))
         replica_events = [self.sim.process(self.nodes[node_id].write(sub.size))
                           for node_id in group]
         self.stats.replica_writes += len(replica_events)
@@ -87,14 +87,16 @@ class StorageCluster:
                 completed += len(finished)
                 pending = [event for event in pending if not event.processed]
         # Acknowledgement back to the VM (metadata-sized).
-        yield from self.network.transfer(256)
+        yield self.sim.timeout(self.network.transfer_delay(256))
         self.stats.subrequest_writes += 1
 
     def read_subrequest(self, sub: SubRequest, sequential: bool = False):
         """Generator: read one chunk-level piece from a single replica."""
+        sim = self.sim
+        network = self.network
         node_id = self.chunk_map.read_replica(sub.chunk_index, next(self._read_salt))
         # Request message (metadata-sized), response carries the payload.
-        yield from self.network.transfer(256)
+        yield sim.timeout(network.transfer_delay(256))
         yield from self.nodes[node_id].read(sub.size, sequential)
-        yield from self.network.transfer(sub.size)
+        yield sim.timeout(network.transfer_delay(sub.size))
         self.stats.subrequest_reads += 1

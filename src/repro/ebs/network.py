@@ -50,13 +50,23 @@ class DatacenterNetwork:
             delay += self._rng.expovariate(1.0 / profile.jitter_mean_us)
         return delay
 
+    def transfer_delay(self, payload_bytes: int) -> float:
+        """Sampled, stats-accounted delay for one one-way message.
+
+        The flattened form of :meth:`transfer`: hot callers yield a single
+        ``sim.timeout(network.transfer_delay(n))`` instead of trampolining
+        through a sub-generator.  Draws and counters are identical.
+        """
+        delay = self.one_way_delay(payload_bytes)
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes_carried += payload_bytes
+        stats.total_latency_us += delay
+        return delay
+
     def transfer(self, payload_bytes: int):
         """Generator: occupy simulated time for one one-way message."""
-        delay = self.one_way_delay(payload_bytes)
-        self.stats.messages += 1
-        self.stats.bytes_carried += payload_bytes
-        self.stats.total_latency_us += delay
-        yield self.sim.timeout(delay)
+        yield self.sim.timeout(self.transfer_delay(payload_bytes))
 
     def round_trip(self, request_bytes: int, response_bytes: int):
         """Generator: a request message followed by its response."""

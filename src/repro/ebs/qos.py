@@ -56,6 +56,8 @@ class QosManager:
             sim, rate=profile.max_iops / 1e6,
             capacity=max(64.0, profile.max_iops / 1e3))
         self._write_limit_bucket: Optional[TokenBucket] = None
+        # Hoisted for the per-request admission path.
+        self._iops_acc = profile.iops_accounting_bytes
 
     # -- flow limiting -------------------------------------------------------------
     @property
@@ -86,17 +88,24 @@ class QosManager:
     # -- admission -------------------------------------------------------------------
     def iops_tokens_for(self, size: int) -> int:
         """IOPS tokens charged for a request of ``size`` bytes."""
-        return max(1, math.ceil(size / self.profile.iops_accounting_bytes))
+        return max(1, math.ceil(size / self._iops_acc))
 
     def admit(self, kind: IOKind, size: int):
-        """Generator: block until the request fits within the budgets."""
-        tokens = self.iops_tokens_for(size)
+        """Generator: block until the request fits within the budgets.
+
+        Hot path of every ESSD request: the token formula is inlined and the
+        stats counters are updated in one batch at the end.  Uncontended
+        requests ride the :class:`TokenBucket` fast paths (single pooled
+        grant, no waiter queue).
+        """
+        tokens = max(1, math.ceil(size / self._iops_acc))
         yield self._iops_bucket.consume(tokens)
         if size > 0:
             yield from self._byte_bucket.consume_sliced(size)
+        stats = self.stats
         if kind is IOKind.WRITE and self._write_limit_bucket is not None:
-            self.stats.flow_limited_requests += 1
+            stats.flow_limited_requests += 1
             yield from self._write_limit_bucket.consume_sliced(size)
-        self.stats.requests_admitted += 1
-        self.stats.bytes_admitted += size
-        self.stats.iops_tokens_charged += tokens
+        stats.requests_admitted += 1
+        stats.bytes_admitted += size
+        stats.iops_tokens_charged += tokens

@@ -48,6 +48,15 @@ class StorageNode:
             sim, rate=profile.bandwidth_bytes_per_us,
             capacity=min(4 * 1024 * 1024, profile.bandwidth_bytes_per_us * 500))
         self.stats = StorageNodeStats()
+        # Per-request constants, folded once at construction.  The sums are
+        # the exact values the service generators previously computed per
+        # request; the media rate stays a divisor (see SsdDevice note on
+        # reciprocal rounding).
+        self._min_charge = profile.min_charge_bytes
+        self._write_latency_us = profile.write_processing_us + profile.media_write_us
+        self._read_latency_us = profile.read_processing_us + profile.media_read_us
+        self._seq_read_us = profile.seq_read_processing_us
+        self._media_read_bw = profile.media_read_bytes_per_us
 
     @property
     def queue_length(self) -> int:
@@ -64,18 +73,19 @@ class StorageNode:
         Small writes are charged at least ``min_charge_bytes`` against the
         node's bandwidth budget (append-log record granularity).
         """
-        start = self.sim.now
-        charge = max(num_bytes, self.profile.min_charge_bytes)
+        sim = self.sim
+        start = sim.now
+        charge = max(num_bytes, self._min_charge)
         yield self._slots.request()
         try:
             yield from self._bandwidth.consume_sliced(charge)
-            yield self.sim.timeout(self.profile.write_processing_us
-                                   + self.profile.media_write_us)
+            yield sim.timeout(self._write_latency_us)
         finally:
             self._slots.release()
-        self.stats.writes += 1
-        self.stats.bytes_written += num_bytes
-        self.stats.busy_time_us += self.sim.now - start
+        stats = self.stats
+        stats.writes += 1
+        stats.bytes_written += num_bytes
+        stats.busy_time_us += sim.now - start
 
     def read(self, num_bytes: int, sequential: bool = False):
         """Generator: service one read of ``num_bytes``.
@@ -83,20 +93,22 @@ class StorageNode:
         ``sequential`` selects the cheaper software path used when the node
         recognises a sequential stream (server-side readahead).
         """
-        start = self.sim.now
+        sim = self.sim
+        start = sim.now
         if sequential:
             # Server-side readahead: the data is already staged in the node's
             # memory, so only the (cheaper) sequential software path is paid.
-            processing = self.profile.seq_read_processing_us
+            processing = self._seq_read_us
         else:
-            processing = self.profile.read_processing_us + self.profile.media_read_us
-        streaming = num_bytes / self.profile.media_read_bytes_per_us
+            processing = self._read_latency_us
+        streaming = num_bytes / self._media_read_bw
         yield self._slots.request()
         try:
             yield from self._bandwidth.consume_sliced(num_bytes)
-            yield self.sim.timeout(processing + streaming)
+            yield sim.timeout(processing + streaming)
         finally:
             self._slots.release()
-        self.stats.reads += 1
-        self.stats.bytes_read += num_bytes
-        self.stats.busy_time_us += self.sim.now - start
+        stats = self.stats
+        stats.reads += 1
+        stats.bytes_read += num_bytes
+        stats.busy_time_us += sim.now - start

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.host.io import IOKind, IORequest
+from repro.sim.events import spawn_process
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Event, Simulator
@@ -83,12 +84,26 @@ class BlockDevice(abc.ABC):
 
     def submit(self, request: IORequest) -> "Event":
         """Submit ``request``; returns an event that succeeds with the request
-        once the device has completed it."""
+        once the device has completed it.
+
+        On the fast path the request runs through the device's flattened
+        :meth:`_pipeline` in a pooled process; with ``fast_path=False`` it
+        runs the pre-refactor :meth:`_complete` / :meth:`_serve` trampoline,
+        frame for frame -- the faithful baseline the roundtrip
+        microbenchmark compares against.  Both schedule the same events in
+        the same order, so kernel traces stay bit-identical.
+        """
         self.validate(request)
-        request.submit_time = self.sim.now
+        sim = self.sim
+        if not sim.fast_path:
+            request.submit_time = sim.now
+            if self.tracer is not None:
+                self.tracer.start(request, self.name)
+            return sim.process(self._complete(request))
+        request.submit_time = sim._now
         if self.tracer is not None:
             self.tracer.start(request, self.name)
-        return self.sim.process(self._complete(request))
+        return spawn_process(sim, self._pipeline(request))
 
     def read(self, offset: int, size: int, **kwargs) -> "Event":
         """Submit a read of ``size`` bytes at ``offset``."""
@@ -113,7 +128,7 @@ class BlockDevice(abc.ABC):
         if request.size % self.logical_block_size != 0:
             raise ValueError(
                 f"size {request.size} not aligned to {self.logical_block_size}")
-        if request.end_offset > self.capacity_bytes:
+        if request.offset + request.size > self.capacity_bytes:
             raise ValueError(
                 f"request [{request.offset}, {request.end_offset}) exceeds "
                 f"device capacity {self.capacity_bytes}")
@@ -135,6 +150,10 @@ class BlockDevice(abc.ABC):
 
     # -- plumbing -----------------------------------------------------------
     def _complete(self, request: IORequest):
+        """Pre-refactor completion pipeline, frame for frame: the
+        ``_serve`` trampoline plus generic bookkeeping.  This is what
+        ``fast_path=False`` submissions run -- the faithful baseline for
+        the kernel roundtrip microbenchmark."""
         result = yield from self._serve(request)
         request.complete_time = self.sim.now
         self.stats.record(request)
@@ -143,8 +162,50 @@ class BlockDevice(abc.ABC):
         self.on_complete(request)
         return result if result is not None else request
 
+    def _pipeline(self, request: IORequest):
+        """The generator fast-path :meth:`submit` turns into the completion
+        process.
+
+        The default delegates to :meth:`_serve` and finishes the request --
+        correct for any device.  Hot device models override this with a
+        **flattened service pipeline**: a single generator frame that inlines
+        their ``_serve`` logic (precomputed per-device constants, no
+        ``yield from`` trampoline) and ends with ``self._finish(request)``.
+        ``_serve`` stays the semantic reference either way, and the event
+        sequence must match :meth:`_complete` exactly.
+        """
+        result = yield from self._serve(request)
+        self._finish(request)
+        return result if result is not None else request
+
+    def _finish(self, request: IORequest) -> None:
+        """Completion bookkeeping shared by every pipeline: stamp the
+        completion time, account statistics, close tracing, run hooks."""
+        request.complete_time = self.sim._now
+        stats = self.stats
+        kind = request.kind
+        if kind is IOKind.READ:
+            stats.reads_completed += 1
+            stats.bytes_read += request.size
+        elif kind is IOKind.WRITE:
+            stats.writes_completed += 1
+            stats.bytes_written += request.size
+        elif kind is IOKind.FLUSH:
+            stats.flushes_completed += 1
+        if self.tracer is not None:
+            self.tracer.finish(request)
+        cls = type(self)
+        if cls.on_complete is not BlockDevice.on_complete:
+            self.on_complete(request)
+
     def on_complete(self, request: IORequest) -> None:
-        """Hook for sub-classes / instrumentation; default does nothing."""
+        """Hook for sub-classes / instrumentation; default does nothing.
+
+        Override in a *subclass* -- the fast-path :meth:`_finish` dispatches
+        the hook through the class (skipping the no-op default), so a
+        per-instance ``device.on_complete = fn`` assignment is not seen on
+        flattened pipelines.
+        """
 
     @abc.abstractmethod
     def _serve(self, request: IORequest):

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Bytes in a kibibyte / mebibyte / gibibyte, used throughout the repo.
@@ -12,7 +11,7 @@ KiB = 1024
 MiB = 1024 * KiB
 GiB = 1024 * MiB
 
-_request_counter = itertools.count()
+_next_request_id = itertools.count().__next__
 
 
 class IOKind(enum.Enum):
@@ -32,35 +31,53 @@ class IOKind(enum.Enum):
         return self is IOKind.WRITE
 
 
-@dataclass
 class IORequest:
     """A single block I/O request.
 
     Offsets and sizes are in bytes.  ``submit_time`` and ``complete_time``
     are filled in by the device (simulation microseconds), so a completed
     request carries its own latency.
+
+    A slotted hand-written class rather than a dataclass: request creation
+    sits on the device-model hot path (one per I/O round trip), and the
+    dataclass ``__init__``/``__post_init__`` pair plus per-field descriptor
+    machinery measurably shows up in the roundtrip profile
+    (``benchmarks/profile_roundtrip.py``).
     """
 
-    kind: IOKind
-    offset: int
-    size: int
-    request_id: int = field(default_factory=lambda: next(_request_counter))
-    submit_time: Optional[float] = None
-    complete_time: Optional[float] = None
-    #: Free-form annotation (e.g. the workload stream that issued it).
-    tag: Any = None
-    #: Set by :class:`repro.cluster.faults.FaultInjector` when the request
-    #: was shed (refused fast) instead of served -- downstream hooks such
-    #: as replication mirroring skip shed writes.
-    shed: bool = False
+    __slots__ = ("kind", "offset", "size", "request_id", "submit_time",
+                 "complete_time", "tag", "shed")
 
-    def __post_init__(self) -> None:
-        if self.offset < 0:
-            raise ValueError(f"negative offset: {self.offset}")
-        if self.size < 0:
-            raise ValueError(f"negative size: {self.size}")
-        if self.kind in (IOKind.READ, IOKind.WRITE) and self.size == 0:
+    def __init__(self, kind: IOKind, offset: int, size: int,
+                 request_id: Optional[int] = None,
+                 submit_time: Optional[float] = None,
+                 complete_time: Optional[float] = None,
+                 tag: Any = None, shed: bool = False):
+        if offset < 0:
+            raise ValueError(f"negative offset: {offset}")
+        if size < 0:
+            raise ValueError(f"negative size: {size}")
+        if size == 0 and (kind is IOKind.READ or kind is IOKind.WRITE):
             raise ValueError("read/write requests must have a positive size")
+        self.kind = kind
+        self.offset = offset
+        self.size = size
+        self.request_id = _next_request_id() if request_id is None else request_id
+        self.submit_time = submit_time
+        self.complete_time = complete_time
+        #: Free-form annotation (e.g. the workload stream that issued it).
+        self.tag = tag
+        #: Set by :class:`repro.cluster.faults.FaultInjector` when the request
+        #: was shed (refused fast) instead of served -- downstream hooks such
+        #: as replication mirroring skip shed writes.
+        self.shed = shed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IORequest(kind={self.kind!r}, offset={self.offset}, "
+                f"size={self.size}, request_id={self.request_id}, "
+                f"submit_time={self.submit_time}, "
+                f"complete_time={self.complete_time}, tag={self.tag!r}, "
+                f"shed={self.shed})")
 
     @property
     def end_offset(self) -> int:

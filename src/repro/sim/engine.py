@@ -150,6 +150,7 @@ class Simulator:
         self._wheel_gate = float(wheel_horizon_us) if self.timer_wheel else -1.0
         self._timeout_pool: list[Timeout] = []
         self._event_pool: list[Event] = []
+        self._process_pool: list[Process] = []
 
     # -- clock ------------------------------------------------------------
     @property
@@ -321,12 +322,19 @@ class Simulator:
         return event
 
     def _maybe_recycle(self, event: Event) -> None:
-        if event.__class__ is Timeout:
+        cls = event.__class__
+        if cls is Timeout:
             if event._ok and len(self._timeout_pool) < _POOL_LIMIT:
                 self._timeout_pool.append(event)
         elif event._pool_ok and event._ok:
-            if len(self._event_pool) < _POOL_LIMIT:
-                self._event_pool.append(event)
+            if cls is Event:
+                if len(self._event_pool) < _POOL_LIMIT:
+                    self._event_pool.append(event)
+            elif cls is Process:
+                if len(self._process_pool) < _POOL_LIMIT:
+                    event.generator = None
+                    event._waiting_on = None
+                    self._process_pool.append(event)
 
     def step(self) -> None:
         """Process the single next event.
@@ -427,12 +435,15 @@ class Simulator:
         heappop = heapq.heappop
         timeout_pool = self._timeout_pool
         event_pool = self._event_pool
+        process_pool = self._process_pool
         event_cls = Event
         timeout_cls = Timeout
+        process_cls = Process
         method_type = MethodType
         resume = _PROCESS_RESUME
         if stop_event is not None and stop_event._processed:
             return stop_event._value
+        now = self._now  # local clock mirror; every write updates both
         while True:
             # -- pop next (deque vs wheel vs heap by (time, prio, seq)) ----
             # Wheel slot times are strictly in the future while the deque is
@@ -445,8 +456,8 @@ class Simulator:
                     entry = queue[0]
                     # Invariant: self._now <= stop_time whenever stop_time is
                     # set, so a same-time heap entry needs no stop check.
-                    if entry[0] <= self._now and \
-                            entry < (self._now, PRIORITY_NORMAL, immediate[0]._seq):
+                    if entry[0] <= now and \
+                            entry < (now, PRIORITY_NORMAL, immediate[0]._seq):
                         heappop(queue)
                         event = entry[3]
                 if event is None:
@@ -473,7 +484,7 @@ class Simulator:
                         # cannot overtake the slot's entries.
                         heappop(wheel_times)
                         immediate.extend(wheel_buckets.pop(wheel_time))
-                    self._now = entry[0]
+                    self._now = now = entry[0]
                     event = entry[3]
                 else:
                     if stop_time is not None and wheel_time > stop_time:
@@ -483,7 +494,7 @@ class Simulator:
                     # the whole batch continues on the deque fast path.
                     heappop(wheel_times)
                     bucket = wheel_buckets.pop(wheel_time)
-                    self._now = wheel_time
+                    self._now = now = wheel_time
                     if len(bucket) == 1:
                         event = bucket[0]
                     else:
@@ -495,7 +506,7 @@ class Simulator:
                     self._now = stop_time
                     return None
                 heappop(queue)
-                self._now = entry[0]
+                self._now = now = entry[0]
                 event = entry[3]
             else:
                 break
@@ -518,6 +529,11 @@ class Simulator:
                     elif cls is event_cls and event._pool_ok and event._ok:
                         if len(event_pool) < _POOL_LIMIT:
                             event_pool.append(event)
+                    elif cls is process_cls and event._pool_ok and event._ok:
+                        if len(process_pool) < _POOL_LIMIT:
+                            event.generator = None
+                            event._waiting_on = None
+                            process_pool.append(event)
             elif callbacks:
                 recyclable = True
                 for callback in callbacks:
@@ -535,6 +551,11 @@ class Simulator:
                     elif cls is event_cls and event._pool_ok and event._ok:
                         if len(event_pool) < _POOL_LIMIT:
                             event_pool.append(event)
+                    elif cls is process_cls and event._pool_ok and event._ok:
+                        if len(process_pool) < _POOL_LIMIT:
+                            event.generator = None
+                            event._waiting_on = None
+                            process_pool.append(event)
             elif not event._ok and not event._defused:
                 raise event._value
             if stop_event is not None and stop_event._processed:

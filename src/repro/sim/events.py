@@ -17,10 +17,21 @@ not be inspected (``.value``, ``.processed``) after the process that yielded
 it has resumed past a *different* event.  Yielding inline -- by far the
 common pattern -- is always safe, as is passing such events to
 ``AllOf``/``AnyOf`` (condition-held events are never recycled).
+
+:class:`Process` objects themselves are pooled too, but only the ones
+created through :func:`spawn_process` (the ``device.submit`` fast path):
+those are marked pool-eligible at birth and recycled once their completion
+has been consumed by the submitting worker.  Processes created with
+``sim.process(...)`` are never recycled -- user code may hold them, join
+them in conditions, or interrupt them long after completion.  The same
+inspect-after-resume rule applies to submission events: read the request
+object (which the completion event returns), not the event, once the
+worker has moved on.
 """
 
 from __future__ import annotations
 
+from types import GeneratorType as _GENERATOR_TYPE
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -172,18 +183,51 @@ class Process(Event):
     __slots__ = ("generator", "_waiting_on", "_resume_bound")
 
     def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any]):
-        super().__init__(sim)
-        if not hasattr(generator, "send"):
+        # Inline of Event.__init__ (one process is created per device
+        # submission; the super() call is measurable on the hot path).
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+        self._pool_ok = False
+        self._seq = 0
+        if type(generator) is not _GENERATOR_TYPE and \
+                not hasattr(generator, "send"):
             raise TypeError(f"process() requires a generator, got {generator!r}")
         self.generator = generator
         self._waiting_on: Optional[Event] = None
         # One bound method reused for every wait this process ever registers
         # (a fresh ``self._resume`` would allocate per yield).
         self._resume_bound = self._resume
-        # Kick off the process at the current simulation time.
-        bootstrap = sim._fresh_event()
-        bootstrap.callbacks.append(self._resume_bound)
-        bootstrap.succeed()
+        # Kick off the process at the current simulation time.  On the fast
+        # path the bootstrap is scheduled inline (pooled event + direct deque
+        # append) -- process creation is the first step of every device
+        # submission, so the ``succeed()`` bookkeeping is worth skipping.
+        # The scheduling order is identical to the generic path.
+        if sim.fast_path:
+            pool = sim._event_pool
+            if pool:
+                bootstrap = pool.pop()
+                bootstrap._value = None
+                bootstrap._triggered = True
+                bootstrap._processed = False
+                bootstrap._defused = False
+                # _ok is still True: only successful events are pooled.
+            else:
+                bootstrap = Event(sim)
+                bootstrap._pool_ok = True
+                bootstrap._triggered = True
+            bootstrap.callbacks.append(self._resume_bound)
+            sim._sequence = seq = sim._sequence + 1
+            bootstrap._seq = seq
+            sim._immediate.append(bootstrap)
+        else:
+            bootstrap = sim._fresh_event()
+            bootstrap.callbacks.append(self._resume_bound)
+            bootstrap.succeed()
 
     @property
     def is_alive(self) -> bool:
@@ -240,7 +284,13 @@ class Process(Event):
                 event._defused = True
                 target = self.generator.throw(event._value)
         except StopIteration as stop:
-            self.succeed(stop.value)
+            # Inline of succeed(stop.value): fires once per process, so the
+            # completion of every device submission passes through here.
+            self._triggered = True
+            self._value = stop.value
+            sim._sequence = seq = sim._sequence + 1
+            self._seq = seq
+            sim._immediate.append(self)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate through the event
             self.fail(exc)
@@ -293,6 +343,48 @@ class Process(Event):
             target.defuse()
             relay.fail(target.value)
             relay.defuse()
+
+
+def spawn_process(sim: "Simulator", generator: Generator[Event, Any, Any]) -> Process:
+    """Pooled :class:`Process` factory for the submission hot path.
+
+    On the fast path the kernel recycles completed submission processes whose
+    only waiters were inline ``yield``\\ s (the same discipline as pooled
+    grant/timeout events -- see the module docstring); this factory reuses
+    them, skipping the per-submission object allocation.  Off the fast path
+    it is exactly ``Process(sim, generator)``.
+    """
+    if sim.fast_path:
+        pool = sim._process_pool
+        if pool:
+            process = pool.pop()
+            process._value = None
+            process._triggered = False
+            process._processed = False
+            process._defused = False
+            process.generator = generator
+            # _ok stays True, _waiting_on is None, _pool_ok stays True, and
+            # the callback list was cleared when the kernel pooled it.
+            epool = sim._event_pool
+            if epool:
+                bootstrap = epool.pop()
+                bootstrap._value = None
+                bootstrap._triggered = True
+                bootstrap._processed = False
+                bootstrap._defused = False
+            else:
+                bootstrap = Event(sim)
+                bootstrap._pool_ok = True
+                bootstrap._triggered = True
+            bootstrap.callbacks.append(process._resume_bound)
+            sim._sequence = seq = sim._sequence + 1
+            bootstrap._seq = seq
+            sim._immediate.append(bootstrap)
+            return process
+        process = Process(sim, generator)
+        process._pool_ok = True
+        return process
+    return Process(sim, generator)
 
 
 class ConditionValue(dict):

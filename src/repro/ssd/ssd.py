@@ -42,6 +42,21 @@ class SsdDevice(BlockDevice):
         # the backend-parallel ESSD does not pay this serialization.
         self._controller = Resource(sim, capacity=config.controller_contexts)
 
+        # Per-I/O constants of the host-overhead model, precomputed once so
+        # the flattened ``_pipeline`` reads attributes instead of chasing
+        # config fields per request.  ``_jitter_lambda`` is the exact value
+        # ``_host_overhead`` computes per call (hoisting it changes nothing
+        # numerically); the transfer rate is kept as a divisor because
+        # ``size / rate`` and ``size * (1 / rate)`` round differently.
+        self._block = config.logical_block_size
+        self._base_overhead_us = config.host_overhead_us
+        self._transfer_bw = config.host_transfer_bytes_per_us
+        self._per_block_us = config.per_block_overhead_us
+        self._jitter_lambda = (1.0 / config.jitter_mean_us
+                               if config.jitter_mean_us > 0 else 0.0)
+        self._hiccup_p = config.hiccup_probability
+        self._hiccup_us = config.hiccup_us
+
         block = config.logical_block_size
         if config.write_buffer_bytes > 0:
             self.write_buffer: Optional[WriteBuffer] = WriteBuffer(
@@ -102,6 +117,84 @@ class SsdDevice(BlockDevice):
             yield from self._serve_flush()
         elif request.kind is IOKind.TRIM:
             self.ftl.trim(self._lbns(request))
+        return request
+
+    def _pipeline(self, request: IORequest):
+        """Flattened fast-path service pipeline: one generator frame that
+        inlines :meth:`_serve`, the host-overhead model, and the per-kind
+        service bodies (:meth:`_serve` stays the semantic reference run by
+        ``fast_path=False`` submissions).  Event order and RNG draw order
+        match :meth:`_serve` exactly.
+        """
+        sim = self.sim
+        rng = self._rng
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.enter(request, "queue")
+        yield self._controller.request()
+        if tracer is not None:
+            tracer.enter(request, "service")
+        try:
+            # _host_overhead, inlined: identical arithmetic and draw order.
+            size = request.size
+            overhead = (self._base_overhead_us
+                        + size / self._transfer_bw
+                        + max(1, size // self._block) * self._per_block_us)
+            if self._jitter_lambda > 0.0:
+                overhead += rng.expovariate(self._jitter_lambda)
+            if self._hiccup_p > 0 and rng.random() < self._hiccup_p:
+                overhead += self._hiccup_us
+            yield sim.timeout(overhead)
+        finally:
+            self._controller.release()
+        if tracer is not None:
+            tracer.enter(request, "media")
+        kind = request.kind
+        block = self._block
+        if kind is IOKind.READ:
+            # _serve_read, inlined (same lookup order: write buffer shields
+            # the read cache, so cache hits are only recorded on buffer
+            # misses).
+            lbns = range(request.offset // block,
+                         (request.offset + request.size) // block)
+            write_buffer = self.write_buffer
+            read_cache = self.read_cache
+            misses: list[int] = []
+            for lbn in lbns:
+                if write_buffer is not None and write_buffer.contains(lbn):
+                    continue
+                if read_cache is not None and read_cache.lookup(lbn):
+                    continue
+                misses.append(lbn)
+            self._maybe_prefetch(lbns)
+            if misses:
+                yield from self.ftl.read_slots(misses)
+        elif kind is IOKind.WRITE:
+            # _serve_write, inlined.
+            lbns = range(request.offset // block,
+                         (request.offset + request.size) // block)
+            read_cache = self.read_cache
+            if read_cache is not None:
+                for lbn in lbns:
+                    read_cache.invalidate(lbn)
+            write_buffer = self.write_buffer
+            if write_buffer is None:
+                yield from self.ftl.write_slots(list(lbns), WriteStream.HOST)
+            else:
+                for lbn in lbns:
+                    while not write_buffer.has_room_for(lbn):
+                        yield write_buffer.wait_for_space()
+                    write_buffer.insert(lbn)
+        elif kind is IOKind.FLUSH:
+            # _serve_flush, inlined.
+            write_buffer = self.write_buffer
+            if write_buffer is not None:
+                while not write_buffer.is_empty():
+                    yield write_buffer.wait_for_space()
+        elif kind is IOKind.TRIM:
+            self.ftl.trim(range(request.offset // block,
+                                (request.offset + request.size) // block))
+        self._finish(request)
         return request
 
     def _host_overhead(self, request: IORequest) -> float:

@@ -86,6 +86,12 @@ class SequentialPattern(AccessPattern):
     def next_kind(self) -> IOKind:
         return self.kind
 
+    def next(self) -> tuple[IOKind, int]:
+        # Hot-path inline of next_kind()/next_offset() (identical results).
+        offset = self.region_offset + self._cursor * self.io_size
+        self._cursor = (self._cursor + 1) % self.slots
+        return self.kind, offset
+
 
 class RandomPattern(AccessPattern):
     """Uniformly random aligned offsets."""
@@ -101,6 +107,12 @@ class RandomPattern(AccessPattern):
 
     def next_kind(self) -> IOKind:
         return self.kind
+
+    def next(self) -> tuple[IOKind, int]:
+        # Hot-path inline of next_kind()/next_offset(): one RNG draw in the
+        # same order, two fewer method dispatches per I/O.
+        return (self.kind,
+                self.region_offset + self._rng.randrange(self.slots) * self.io_size)
 
 
 class ZipfianPattern(AccessPattern):
@@ -236,6 +248,11 @@ class MixedPattern(AccessPattern):
 
     def next_think_time_us(self) -> float:
         return self.base.next_think_time_us()
+
+    def next(self) -> tuple[IOKind, int]:
+        # Hot-path inline preserving the kind-then-offset RNG draw order.
+        kind = IOKind.WRITE if self._rng.random() < self.write_ratio else IOKind.READ
+        return kind, self.base.next_offset()
 
 
 #: (read name, write name, mixed name) -> base pattern class, for make_pattern.

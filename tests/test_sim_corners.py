@@ -395,3 +395,155 @@ def test_kernel_variants_identical_across_horizon_and_time_ties():
     legacy, prewheel, wheel = (run_workload(**kernel)
                                for kernel in KERNEL_VARIANTS)
     assert legacy == prewheel == wheel
+
+
+# ---------------------------------------------------------------------------
+# Fast-path flattening: inline resource grants, batched token buckets, and
+# pooled submission processes must trace bit-identically on every kernel
+# ---------------------------------------------------------------------------
+
+def _run_on_all_kernels(workload):
+    return tuple(workload(Simulator(**kernel)) for kernel in KERNEL_VARIANTS)
+
+
+def test_resource_grants_trace_identically_contended_and_uncontended():
+    """The inline uncontended grant (no event allocation, no scheduler
+    bounce) and the queued contended grant must produce the same trace:
+    phases of a single worker (always uncontended) alternate with phases
+    of four workers fighting over two slots."""
+    def workload(sim):
+        from repro.sim import Resource
+        resource = Resource(sim, capacity=2)
+        trace = []
+
+        def solo():
+            for i in range(6):
+                yield resource.request()
+                trace.append(("solo", sim.now, i, resource.users,
+                              resource.queue_length))
+                yield sim.timeout(1.0)
+                resource.release()
+                yield sim.timeout(9.0)  # drain: next acquire is uncontended
+
+        def crowd(label):
+            yield sim.timeout(20.0)  # overlap the middle solo phases
+            for i in range(4):
+                yield resource.request()
+                trace.append((label, sim.now, i, resource.users,
+                              resource.queue_length))
+                yield sim.timeout(2.5)
+                resource.release()
+
+        sim.process(solo())
+        for label in ("w0", "w1", "w2", "w3"):
+            sim.process(crowd(label))
+        sim.run()
+        return trace
+
+    legacy, prewheel, wheel = _run_on_all_kernels(workload)
+    assert legacy == prewheel == wheel
+
+
+def test_token_bucket_batched_grants_trace_identically():
+    """`consume_sliced` collapses a fully-covered transfer into one grant
+    and `consume` grants inline when uncontended; both must keep grant
+    times identical to the generic queued path on every kernel.  The
+    workload mixes covered amounts (batched single grant), amounts above
+    capacity (forced multi-slice), and FIFO contention between workers."""
+    def workload(sim):
+        from repro.sim.resources import TokenBucket
+        bucket = TokenBucket(sim, rate=4.0, capacity=64.0)
+        trace = []
+
+        def consumer(label, amounts, start):
+            yield sim.timeout(start)
+            for i, amount in enumerate(amounts):
+                if amount > 16.0:
+                    yield from bucket.consume_sliced(amount)
+                else:
+                    yield bucket.consume(amount)
+                trace.append((label, sim.now, i, round(bucket.tokens, 9)))
+
+        # a: uncontended covered grants; b/c: contended, straddling
+        # capacity (sliced) and sub-slice amounts interleaved FIFO.
+        sim.process(consumer("a", [8.0, 8.0, 8.0], 0.0))
+        sim.process(consumer("b", [48.0, 96.0], 5.0))
+        sim.process(consumer("c", [4.0, 4.0, 120.0], 5.0))
+        sim.run()
+        return trace
+
+    legacy, prewheel, wheel = _run_on_all_kernels(workload)
+    assert legacy == prewheel == wheel
+
+
+def test_interrupted_resource_waiter_traces_identically():
+    """Interrupting a queued waiter (cancel-while-waiting) must leave the
+    same grant order and timestamps on every kernel, including the slot
+    that passes through the interrupted waiter's orphaned event."""
+    def workload(sim):
+        from repro.sim import Resource
+        resource = Resource(sim, capacity=1)
+        trace = []
+
+        def holder():
+            yield resource.request()
+            trace.append(("holder", sim.now))
+            yield sim.timeout(30.0)
+            resource.release()
+
+        def waiter(label):
+            try:
+                yield resource.request()
+                trace.append((label, sim.now))
+                yield sim.timeout(5.0)
+                resource.release()
+            except Interrupt as interrupt:
+                trace.append((label, "interrupted", sim.now, interrupt.cause))
+
+        def interrupter(target):
+            yield sim.timeout(10.0)
+            target.interrupt("cancelled")
+
+        sim.process(holder())
+        target = sim.process(waiter("victim"))
+        sim.process(waiter("survivor"))
+        sim.process(interrupter(target))
+        sim.run()
+        return trace
+
+    legacy, prewheel, wheel = _run_on_all_kernels(workload)
+    assert legacy == prewheel == wheel
+
+
+def test_pooled_device_submissions_trace_identically_with_zero_delay_churn():
+    """Device submissions ride pooled processes on the fast path
+    (``spawn_process``); heavy zero-delay churn around them must not
+    perturb completion order or timestamps on any kernel -- and the
+    flattened pipeline must complete requests identically to the
+    pre-refactor ``_complete`` trampoline."""
+    def workload(sim):
+        from repro.devices.loopback import LoopbackDevice
+        device = LoopbackDevice(sim, capacity_bytes=1 << 20,
+                                service_time_us=2.0, service_slots=2)
+        trace = []
+
+        def churn():
+            for _ in range(64):
+                yield sim.timeout(0)
+
+        def issuer(label, offset):
+            for i in range(8):
+                request = yield device.read(offset + i * 4096, 4096)
+                trace.append((label, sim.now, i,
+                              request.complete_time - request.submit_time))
+                yield sim.timeout(0)
+
+        sim.process(churn())
+        sim.process(issuer("x", 0))
+        sim.process(issuer("y", 1 << 19))
+        sim.process(churn())
+        sim.run()
+        return (trace, device.stats.reads_completed, device.stats.bytes_read)
+
+    legacy, prewheel, wheel = _run_on_all_kernels(workload)
+    assert legacy == prewheel == wheel
