@@ -164,6 +164,53 @@ Deterministic fleet metrics cache under ``$REPRO_SWEEP_CACHE`` (default
 are excluded from the cache key, ``--force`` re-runs, ``--no-cache``
 disables.  ``run <scenario> --shards N`` nests the same sharding inside
 the sweep pool for scenarios whose cells carry fleets.
+
+Config documents (no Python required)
+-------------------------------------
+Everything above can be declared in a YAML/JSON document instead of
+Python -- ``examples/fleet_config.yaml`` is a fully-commented schema
+walkthrough (topology, device-profile presets, trace tenants, fault
+schedules, sweep grids).  Documents are validated with path-addressed
+errors (``fleet.groups[2].count: expected positive int``) and run through
+the exact same cell machinery, so a document fleet and its Python twin
+produce bit-identical metrics and share sweep-cache entries::
+
+    python -m repro.experiments validate examples/fleet_config.yaml
+    python -m repro.experiments fleet examples/fleet_config.yaml --quick
+    # Register permanently: every document in the directories on
+    # $REPRO_SCENARIO_PATH appears in `list` and runs by name.
+    REPRO_SCENARIO_PATH=examples python -m repro.experiments list
+
+(YAML needs the optional ``config`` extra, ``pip install repro[config]``;
+JSON documents work without it.)
+
+The experiment service (repro.serve)
+------------------------------------
+``serve`` starts a persistent process that accepts scenario/fleet
+submissions over a unix socket or localhost TCP, schedules them on a
+shared sweep runner with the same result cache as the batch CLI, and
+streams per-cell metrics as line-delimited JSON.  Submissions beyond
+``--max-pending`` are rejected immediately with a reason (admission
+control), and ``--job-workers N`` runs N jobs concurrently::
+
+    python -m repro.experiments serve --socket /tmp/repro.sock &
+    # Submit a registered scenario or a document file; events stream back:
+    python -m repro.experiments submit fleet-smoke --quick \
+        --socket /tmp/repro.sock
+    python -m repro.experiments submit examples/fleet_config.yaml \
+        --socket /tmp/repro.sock --out result.json
+
+Because the server and the batch CLI share one cache contract, a
+document submitted to ``serve`` and the same document run via ``fleet``
+hit the same cache keys -- whichever runs second is a pure cache hit.
+Programmatic access goes through :class:`repro.serve.ServeClient`::
+
+    from repro.serve import ServeClient
+
+    with ServeClient(socket_path="/tmp/repro.sock") as client:
+        terminal, events = client.run(scenario="fleet-smoke", quick=True)
+        # events: "accepted", "started", one "cell" per finished cell,
+        # then the terminal "done" carrying every cell's metrics.
 """
 
 from repro.cluster import (

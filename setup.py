@@ -8,6 +8,11 @@ setup(
     python_requires=">=3.9",
     install_requires=["numpy"],
     extras_require={
+        # YAML config documents (src/repro/config); without it the loader
+        # falls back to JSON-only documents with a clear error for YAML.
+        "config": [
+            "pyyaml",
+        ],
         # The suite runs with a per-test timeout (pytest.ini); pytest-timeout
         # enforces it when installed, with a SIGALRM fallback in conftest.py
         # for minimal environments.

@@ -339,6 +339,26 @@ class FleetTopology:
     def from_json(cls, text: str) -> "FleetTopology":
         return cls.from_payload(json.loads(text))
 
+    def to_document(self, kind: Optional[str] = "fleet") -> dict[str, Any]:
+        """The human-editable YAML/JSON document form (defaults omitted).
+
+        Unlike :meth:`to_payload` -- the exhaustive canonical wire form --
+        a document is meant to be written by hand: mappings instead of
+        sorted pairs, defaults left out.  ``topology -> document ->
+        topology`` is lossless; see :mod:`repro.config`.
+        """
+        from repro.config import topology_to_document
+
+        return topology_to_document(self, kind=kind)
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any],
+                      path: str = "fleet") -> "FleetTopology":
+        """Build from a document, validating with path-addressed errors."""
+        from repro.config import topology_from_document
+
+        return topology_from_document(document, path=path)
+
     def scaled(self, **changes) -> "FleetTopology":
         """Copy with some top-level fields changed (e.g. ``epoch_us``)."""
         return replace(self, **changes)

@@ -1,0 +1,125 @@
+"""Document parsing and the ``$REPRO_SCENARIO_PATH`` scenario scan.
+
+YAML support is optional (the ``config`` extra: ``pip install repro[config]``).
+When :mod:`pyyaml` is absent the loader falls back to JSON -- and since YAML
+is a superset of JSON, a ``.yaml`` file that happens to contain JSON still
+parses; only real YAML syntax produces a :class:`ConfigError` explaining
+the missing extra.
+
+``$REPRO_SCENARIO_PATH`` is an ``os.pathsep``-separated list of directories.
+Every ``*.yaml`` / ``*.yml`` / ``*.json`` file in them is loaded as a
+scenario or fleet document and registered beside the built-ins, so user
+fleets appear in ``list`` / ``run`` / ``fleet`` / ``submit`` with no Python.
+Files that fail to parse or validate are skipped with a collected warning
+(one bad file must not hide every other scenario).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from repro.config.schema import ConfigError, scenario_for_document
+
+__all__ = [
+    "SCENARIO_PATH_VAR",
+    "SCENARIO_SUFFIXES",
+    "load_document",
+    "parse_document_text",
+    "scan_scenario_dirs",
+    "scenario_from_path",
+    "yaml_available",
+]
+
+#: Environment variable naming the scenario-document directories.
+SCENARIO_PATH_VAR = "REPRO_SCENARIO_PATH"
+
+#: File suffixes the directory scan picks up.
+SCENARIO_SUFFIXES = (".yaml", ".yml", ".json")
+
+
+def yaml_available() -> bool:
+    """Whether :mod:`pyyaml` is importable (the optional ``config`` extra)."""
+    try:
+        import yaml  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def parse_document_text(text: str, *, source: str = "document") -> Any:
+    """Parse YAML/JSON ``text`` into plain data.
+
+    With pyyaml installed everything goes through ``yaml.safe_load`` (which
+    also parses JSON); without it, ``json.loads`` -- and the error for
+    YAML-looking input names the missing extra.
+    """
+    if yaml_available():
+        import yaml
+
+        try:
+            return yaml.safe_load(text)
+        except yaml.YAMLError as error:
+            raise ConfigError(source, f"invalid YAML: {error}") from None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigError(
+            source,
+            f"invalid JSON: {error} (pyyaml is not installed -- "
+            f"install the config extra, `pip install repro[config]`, "
+            f"to load YAML documents)") from None
+
+
+def load_document(path: Union[str, Path]) -> Any:
+    """Load one document file; errors carry the file name as the path."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ConfigError(str(path), f"cannot read file: {error}") from None
+    return parse_document_text(text, source=str(path))
+
+
+def scenario_from_path(path: Union[str, Path]):
+    """Load ``path`` and build the scenario (or wrapped fleet) it defines."""
+    document = load_document(path)
+    return scenario_for_document(document, path=str(path))
+
+
+def _scan_dirs(raw: Optional[str]) -> list[Path]:
+    if not raw:
+        return []
+    return [Path(entry) for entry in raw.split(os.pathsep) if entry]
+
+
+def scan_scenario_dirs(
+        dirs: Optional[Iterable[Union[str, Path]]] = None,
+) -> tuple[list, list[tuple[str, str]]]:
+    """Load every scenario document under ``dirs``.
+
+    ``dirs`` defaults to ``$REPRO_SCENARIO_PATH``.  Returns
+    ``(specs, warnings)`` where warnings are ``(file, message)`` pairs for
+    files that failed to parse or validate; a missing directory is itself a
+    warning, not an error.  Files are visited in sorted order per directory
+    so later files win name collisions deterministically.
+    """
+    if dirs is None:
+        dirs = _scan_dirs(os.environ.get(SCENARIO_PATH_VAR))
+    specs = []
+    warnings: list[tuple[str, str]] = []
+    for directory in dirs:
+        directory = Path(directory)
+        if not directory.is_dir():
+            warnings.append((str(directory), "not a directory"))
+            continue
+        files = sorted(entry for entry in directory.iterdir()
+                       if entry.suffix in SCENARIO_SUFFIXES and entry.is_file())
+        for entry in files:
+            try:
+                specs.append(scenario_from_path(entry))
+            except ConfigError as error:
+                warnings.append((str(entry), str(error)))
+    return specs, warnings

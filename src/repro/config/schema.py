@@ -1,0 +1,830 @@
+"""Document <-> object converters with path-addressed validation errors.
+
+A *document* is the plain-data (YAML/JSON) form of a topology, a scenario,
+or a sweep cell: mappings and lists of scalars, friendly to write by hand
+(``device_params`` is a mapping, not the sorted-pairs tuple the frozen
+dataclasses store).  Every ``*_from_document`` function validates the
+document shape *before* constructing objects, so a malformed file fails
+with the exact path of the offending value::
+
+    fleet.groups[2].count: expected positive int
+    scenario.streams.victim.queue_deth: not a stream override field (...)
+
+Cross-field invariants (a tenant naming an unknown group, a replication
+factor exceeding the target group) are enforced by the dataclasses
+themselves; those errors are re-raised as :class:`ConfigError` carrying the
+document path of the enclosing element.
+
+The converters are lossless: ``topology -> document -> topology`` (and the
+scenario / cell equivalents) is an identity, which is what lets a fleet
+defined only in YAML produce metrics bit-identical to its Python-built
+twin -- both sides collapse to the same canonical JSON and therefore the
+same sweep-cache key.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional, Sequence
+
+__all__ = [
+    "ConfigError",
+    "cell_from_document",
+    "cell_to_document",
+    "document_kind",
+    "scenario_for_document",
+    "scenario_from_document",
+    "scenario_to_document",
+    "topology_from_document",
+    "topology_to_document",
+]
+
+
+class ConfigError(ValueError):
+    """A document validation failure at a specific path.
+
+    ``str(error)`` reads ``<path>: <message>`` -- e.g.
+    ``fleet.groups[2].count: expected positive int`` -- so CLI verbs can
+    print it verbatim.
+    """
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        self.message = message
+        super().__init__(f"{path}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# Typed accessors (every validation error speaks in document paths)
+# ---------------------------------------------------------------------------
+
+_SCALAR_TYPES = (str, bool, int, float, type(None))
+
+
+def _type_name(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, Mapping):
+        return "mapping"
+    if isinstance(value, (list, tuple)):
+        return "list"
+    return type(value).__name__
+
+
+def _as_mapping(value: Any, path: str) -> dict:
+    if not isinstance(value, Mapping):
+        raise ConfigError(path, f"expected mapping, got {_type_name(value)}")
+    return dict(value)
+
+
+def _as_list(value: Any, path: str) -> list:
+    if isinstance(value, Mapping) or not isinstance(value, (list, tuple)):
+        raise ConfigError(path, f"expected list, got {_type_name(value)}")
+    return list(value)
+
+
+def _as_str(value: Any, path: str, choices: Optional[Sequence[str]] = None) -> str:
+    if not isinstance(value, str):
+        raise ConfigError(path, f"expected str, got {_type_name(value)}")
+    if not value:
+        raise ConfigError(path, "expected non-empty str")
+    if choices is not None and value not in choices:
+        raise ConfigError(path, f"expected one of {', '.join(choices)}; "
+                                f"got {value!r}")
+    return value
+
+
+def _as_bool(value: Any, path: str) -> bool:
+    if not isinstance(value, bool):
+        raise ConfigError(path, f"expected bool, got {_type_name(value)}")
+    return value
+
+
+def _as_int(value: Any, path: str, minimum: Optional[int] = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(path, f"expected int, got {_type_name(value)}")
+    if minimum is not None and value < minimum:
+        kind = "positive int" if minimum == 1 else f"int >= {minimum}"
+        raise ConfigError(path, f"expected {kind}")
+    return value
+
+
+def _as_positive_int(value: Any, path: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ConfigError(path, "expected positive int")
+    return value
+
+
+def _as_number(value: Any, path: str, positive: bool = False,
+               minimum: Optional[float] = None) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(path, f"expected number, got {_type_name(value)}")
+    if positive and value <= 0:
+        raise ConfigError(path, "expected positive number")
+    if minimum is not None and value < minimum:
+        raise ConfigError(path, f"expected number >= {minimum}")
+    return float(value)
+
+
+def _as_scalar(value: Any, path: str) -> Any:
+    if not isinstance(value, _SCALAR_TYPES):
+        raise ConfigError(path, f"expected scalar (str/number/bool/null), "
+                                f"got {_type_name(value)}")
+    return value
+
+
+def _check_keys(mapping: Mapping[str, Any], path: str,
+                allowed: Sequence[str], required: Sequence[str] = ()) -> None:
+    for key in mapping:
+        if not isinstance(key, str):
+            raise ConfigError(path, f"expected str keys, got {_type_name(key)}")
+        if key not in allowed:
+            raise ConfigError(f"{path}.{key}",
+                              f"unknown key (expected: {', '.join(sorted(allowed))})")
+    for key in required:
+        if key not in mapping:
+            raise ConfigError(path, f"missing required key {key!r}")
+
+
+def _scalar_mapping(value: Any, path: str) -> dict[str, Any]:
+    """A mapping of str -> scalar (device_params, labels, grid points)."""
+    mapping = _as_mapping(value, path)
+    return {_as_str(key, path): _as_scalar(entry, f"{path}.{key}")
+            for key, entry in mapping.items()}
+
+
+def _sorted_pairs(mapping: Mapping[str, Any]) -> tuple:
+    return tuple(sorted(mapping.items()))
+
+
+# ---------------------------------------------------------------------------
+# Device registry hooks
+# ---------------------------------------------------------------------------
+
+def _known_devices() -> list[str]:
+    from repro.devices import device_names
+
+    return device_names()
+
+
+def _check_device(name: Any, path: str, extra: Sequence[str] = ()) -> str:
+    name = _as_str(name, path)
+    known = _known_devices()
+    if name not in known and name not in extra:
+        raise ConfigError(path, f"unknown device {name!r} "
+                                f"(known: {', '.join(sorted([*known, *extra]))})")
+    return name
+
+
+def _check_device_params(params: Mapping[str, Any], device: str,
+                         path: str) -> None:
+    """Validate override keys against the family's profile fields."""
+    from repro.devices import profile_fields
+
+    fields = profile_fields(device)
+    if fields is None:
+        return
+    for key in params:
+        if key not in fields:
+            raise ConfigError(f"{path}.{key}",
+                              f"not a profile field of {device!r} "
+                              f"(known: {', '.join(sorted(fields))})")
+
+
+# ---------------------------------------------------------------------------
+# Topology documents
+# ---------------------------------------------------------------------------
+
+#: Meta keys tolerated on a *standalone* fleet document: they feed the
+#: wrapper scenario built by :func:`scenario_for_document`, not the
+#: topology itself.
+_TOPOLOGY_META_KEYS = ("kind", "description", "tags")
+
+_GROUP_KEYS = ("name", "device", "count", "capacity_bytes", "device_params",
+               "preload", "mode")
+_TENANT_KEYS = ("name", "group", "workload")
+_EDGE_KEYS = ("source", "target", "replication_factor")
+_FAULT_KEYS = ("kind", "group", "at_us", "device", "repair_after_us", "spare")
+_PROFILE_KEYS = ("device", "params")
+
+
+def topology_to_document(topology, *, kind: Optional[str] = "fleet") -> dict:
+    """The document form of a :class:`~repro.cluster.FleetTopology`.
+
+    Defaults are omitted for readability; :func:`topology_from_document`
+    reapplies them, so the round trip is exact.
+    """
+    from repro.cluster.faults import FaultPolicy
+    from repro.cluster.topology import DEFAULT_EPOCH_US
+
+    document: dict[str, Any] = {}
+    if kind is not None:
+        document["kind"] = kind
+    document["name"] = topology.name
+    groups = []
+    for group in topology.groups:
+        entry: dict[str, Any] = {"name": group.name, "device": group.device,
+                                 "count": group.count}
+        if group.capacity_bytes is not None:
+            entry["capacity_bytes"] = group.capacity_bytes
+        if group.device_params:
+            entry["device_params"] = dict(group.device_params)
+        if not group.preload:
+            entry["preload"] = False
+        if group.mode != "discrete":
+            entry["mode"] = group.mode
+        groups.append(entry)
+    document["groups"] = groups
+    if topology.tenants:
+        document["tenants"] = [
+            {"name": tenant.name, "group": tenant.group,
+             "workload": _workload_to_document(tenant.workload_dict())}
+            for tenant in topology.tenants]
+    if topology.edges:
+        document["edges"] = [edge.to_payload() for edge in topology.edges]
+    if topology.faults:
+        document["faults"] = [
+            {key: value for key, value in event.to_payload().items()
+             if value is not None}
+            for event in topology.faults]
+    if topology.fault_policy != FaultPolicy():
+        document["fault_policy"] = topology.fault_policy.to_payload()
+    if topology.epoch_us != DEFAULT_EPOCH_US:
+        document["epoch_us"] = topology.epoch_us
+    if topology.seed != 17:
+        document["seed"] = topology.seed
+    return document
+
+
+def _workload_to_document(workload: Mapping[str, Any]) -> dict:
+    document = dict(workload)
+    params = document.get("pattern_params")
+    if isinstance(params, (tuple, list)):
+        document["pattern_params"] = dict(tuple(pair) for pair in params)
+    return document
+
+
+def _workload_from_document(value: Any, path: str) -> dict[str, Any]:
+    workload = _as_mapping(value, path)
+    normalised: dict[str, Any] = {}
+    for key, entry in workload.items():
+        key = _as_str(key, path)
+        if key == "pattern_params":
+            normalised[key] = _sorted_pairs(
+                _scalar_mapping(entry, f"{path}.{key}"))
+        else:
+            normalised[key] = _as_scalar(entry, f"{path}.{key}")
+    return normalised
+
+
+def _expand_profiles(document: Mapping[str, Any], path: str) -> dict[str, dict]:
+    """Validate the ``profiles`` section: named device-profile presets.
+
+    A profile is load-time sugar -- groups referencing one are rewritten to
+    the underlying registered family with the preset's ``params`` merged
+    under their own ``device_params`` (the group wins key collisions).  The
+    canonical topology therefore only ever names registered families, which
+    keeps worker processes (which import the registry, not the document)
+    able to build every device.
+    """
+    profiles: dict[str, dict] = {}
+    section = _as_mapping(document.get("profiles", {}), f"{path}.profiles")
+    for name, entry in section.items():
+        name = _as_str(name, f"{path}.profiles")
+        profile_path = f"{path}.profiles.{name}"
+        entry = _as_mapping(entry, profile_path)
+        _check_keys(entry, profile_path, _PROFILE_KEYS, required=("device",))
+        device = _check_device(entry["device"], f"{profile_path}.device")
+        params = _scalar_mapping(entry.get("params", {}),
+                                 f"{profile_path}.params")
+        _check_device_params(params, device, f"{profile_path}.params")
+        profiles[name] = {"device": device, "params": params}
+    return profiles
+
+
+def topology_from_document(document: Any, *, path: str = "fleet"):
+    """Build a validated :class:`~repro.cluster.FleetTopology` from a document."""
+    from repro.cluster.faults import FaultEvent, FaultPolicy
+    from repro.cluster.topology import (
+        DEFAULT_EPOCH_US,
+        FleetTopology,
+        GROUP_MODES,
+        DeviceGroup,
+        ReplicationEdge,
+        Tenant,
+    )
+
+    document = _as_mapping(document, path)
+    _check_keys(document, path,
+                [*_TOPOLOGY_META_KEYS, "name", "groups", "tenants", "edges",
+                 "faults", "fault_policy", "epoch_us", "seed", "profiles"],
+                required=("name", "groups"))
+    if "kind" in document:
+        _as_str(document["kind"], f"{path}.kind", choices=("fleet", "topology"))
+    name = _as_str(document["name"], f"{path}.name")
+    profiles = _expand_profiles(document, path)
+
+    groups = []
+    entries = _as_list(document["groups"], f"{path}.groups")
+    if not entries:
+        raise ConfigError(f"{path}.groups", "expected at least one group")
+    for index, entry in enumerate(entries):
+        group_path = f"{path}.groups[{index}]"
+        entry = _as_mapping(entry, group_path)
+        _check_keys(entry, group_path, _GROUP_KEYS,
+                    required=("name", "device", "count"))
+        device = _check_device(entry["device"], f"{group_path}.device",
+                               extra=tuple(profiles))
+        params = _scalar_mapping(entry.get("device_params", {}),
+                                 f"{group_path}.device_params")
+        if device in profiles:
+            preset = profiles[device]
+            device = preset["device"]
+            params = {**preset["params"], **params}
+        _check_device_params(params, device, f"{group_path}.device_params")
+        capacity = entry.get("capacity_bytes")
+        if capacity is not None:
+            capacity = _as_positive_int(capacity, f"{group_path}.capacity_bytes")
+        fields = {
+            "name": _as_str(entry["name"], f"{group_path}.name"),
+            "device": device,
+            "count": _as_positive_int(entry["count"], f"{group_path}.count"),
+            "capacity_bytes": capacity,
+            "device_params": _sorted_pairs(params),
+            "preload": _as_bool(entry.get("preload", True),
+                                f"{group_path}.preload"),
+            "mode": _as_str(entry.get("mode", "discrete"),
+                            f"{group_path}.mode", choices=GROUP_MODES),
+        }
+        try:
+            groups.append(DeviceGroup(**fields))
+        except ValueError as error:
+            raise ConfigError(group_path, str(error)) from None
+
+    tenants = []
+    for index, entry in enumerate(_as_list(document.get("tenants", []),
+                                           f"{path}.tenants")):
+        tenant_path = f"{path}.tenants[{index}]"
+        entry = _as_mapping(entry, tenant_path)
+        _check_keys(entry, tenant_path, _TENANT_KEYS,
+                    required=("name", "group", "workload"))
+        tenants.append(Tenant(
+            name=_as_str(entry["name"], f"{tenant_path}.name"),
+            group=_as_str(entry["group"], f"{tenant_path}.group"),
+            workload=_sorted_pairs(_workload_from_document(
+                entry["workload"], f"{tenant_path}.workload")),
+        ))
+
+    edges = []
+    for index, entry in enumerate(_as_list(document.get("edges", []),
+                                           f"{path}.edges")):
+        edge_path = f"{path}.edges[{index}]"
+        entry = _as_mapping(entry, edge_path)
+        _check_keys(entry, edge_path, _EDGE_KEYS, required=("source", "target"))
+        try:
+            edges.append(ReplicationEdge(
+                source=_as_str(entry["source"], f"{edge_path}.source"),
+                target=_as_str(entry["target"], f"{edge_path}.target"),
+                replication_factor=_as_positive_int(
+                    entry.get("replication_factor", 1),
+                    f"{edge_path}.replication_factor"),
+            ))
+        except ConfigError:
+            raise
+        except ValueError as error:
+            raise ConfigError(edge_path, str(error)) from None
+
+    faults = []
+    for index, entry in enumerate(_as_list(document.get("faults", []),
+                                           f"{path}.faults")):
+        fault_path = f"{path}.faults[{index}]"
+        entry = _as_mapping(entry, fault_path)
+        _check_keys(entry, fault_path, _FAULT_KEYS,
+                    required=("kind", "group", "at_us"))
+        device = entry.get("device")
+        if device is not None:
+            device = _as_int(device, f"{fault_path}.device", minimum=0)
+        repair = entry.get("repair_after_us")
+        if repair is not None:
+            repair = _as_number(repair, f"{fault_path}.repair_after_us",
+                                positive=True)
+        spare = entry.get("spare")
+        if spare is not None:
+            spare = _as_str(spare, f"{fault_path}.spare")
+        fields = {
+            "kind": _as_str(entry["kind"], f"{fault_path}.kind"),
+            "group": _as_str(entry["group"], f"{fault_path}.group"),
+            "at_us": _as_number(entry["at_us"], f"{fault_path}.at_us",
+                                minimum=0.0),
+            "device": device,
+            "repair_after_us": repair,
+            "spare": spare,
+        }
+        try:
+            faults.append(FaultEvent(**fields))
+        except ValueError as error:
+            raise ConfigError(fault_path, str(error)) from None
+
+    policy_doc = document.get("fault_policy")
+    if policy_doc is None:
+        policy = FaultPolicy()
+    else:
+        import dataclasses
+
+        policy_path = f"{path}.fault_policy"
+        policy_doc = _as_mapping(policy_doc, policy_path)
+        known = [field.name for field in dataclasses.fields(FaultPolicy)]
+        _check_keys(policy_doc, policy_path, known)
+        try:
+            policy = FaultPolicy(**policy_doc)
+        except (TypeError, ValueError) as error:
+            raise ConfigError(policy_path, str(error)) from None
+
+    epoch_us = _as_number(document.get("epoch_us", DEFAULT_EPOCH_US),
+                          f"{path}.epoch_us", positive=True)
+    seed = _as_int(document.get("seed", 17), f"{path}.seed")
+    try:
+        return FleetTopology(name=name, groups=tuple(groups),
+                             tenants=tuple(tenants), edges=tuple(edges),
+                             faults=tuple(faults), fault_policy=policy,
+                             epoch_us=epoch_us, seed=seed)
+    except ValueError as error:
+        raise ConfigError(path, str(error)) from None
+
+
+# ---------------------------------------------------------------------------
+# Cell documents
+# ---------------------------------------------------------------------------
+
+def _cell_fields() -> dict:
+    import dataclasses
+
+    from repro.experiments.sweep import CellSpec
+
+    return {field.name: field for field in dataclasses.fields(CellSpec)}
+
+
+#: Stream overrides may set any FioJob field plus the target device.
+def _stream_override_fields() -> tuple[str, ...]:
+    from repro.experiments.sweep import _JOB_FIELDS
+
+    return (*_JOB_FIELDS, "device")
+
+
+def _streams_from_document(value: Any, path: str) -> tuple:
+    streams = _as_mapping(value, path)
+    allowed = _stream_override_fields()
+    normalised = []
+    for name, overrides in streams.items():
+        name = _as_str(name, path)
+        stream_path = f"{path}.{name}"
+        overrides = _as_mapping(overrides, stream_path)
+        fields: dict[str, Any] = {}
+        for key, entry in overrides.items():
+            key = _as_str(key, stream_path)
+            if key not in allowed:
+                raise ConfigError(
+                    f"{stream_path}.{key}",
+                    f"not a stream override field "
+                    f"(known: {', '.join(sorted(allowed))})")
+            if key == "pattern_params":
+                fields[key] = _sorted_pairs(
+                    _scalar_mapping(entry, f"{stream_path}.{key}"))
+            else:
+                fields[key] = _as_scalar(entry, f"{stream_path}.{key}")
+        normalised.append((name, _sorted_pairs(fields)))
+    return tuple(sorted(normalised))
+
+
+def _streams_to_document(streams: tuple) -> dict:
+    document = {}
+    for name, overrides in streams:
+        fields = dict(overrides)
+        params = fields.get("pattern_params")
+        if isinstance(params, (tuple, list)):
+            fields["pattern_params"] = dict(tuple(pair) for pair in params)
+        document[name] = fields
+    return document
+
+
+def _faults_to_document(canonical: str) -> dict:
+    from repro.cluster.faults import FaultPolicy
+
+    spec = json.loads(canonical)
+    document: dict[str, Any] = {
+        "events": [{key: value for key, value in event.items()
+                    if value is not None}
+                   for event in spec.get("events", [])]}
+    policy = spec.get("policy")
+    if policy and policy != FaultPolicy().to_payload():
+        document["policy"] = policy
+    return document
+
+
+def _faults_from_document(value: Any, path: str) -> str:
+    from repro.cluster.faults import canonical_fault_spec, parse_fault_spec
+
+    if isinstance(value, Mapping):
+        _check_keys(value, path, ("events", "policy"))
+    elif not isinstance(value, (list, tuple)):
+        raise ConfigError(path, f"expected mapping or list, "
+                                f"got {_type_name(value)}")
+    try:
+        events, policy = parse_fault_spec(
+            dict(value) if isinstance(value, Mapping) else list(value))
+    except (ValueError, TypeError, KeyError) as error:
+        raise ConfigError(path, f"bad fault spec: {error}") from None
+    return canonical_fault_spec(events, policy)
+
+
+def cell_to_document(cell, *, kind: Optional[str] = "cell") -> dict:
+    """The document form of a :class:`~repro.experiments.sweep.CellSpec`."""
+    import dataclasses
+
+    from repro.cluster import FleetTopology
+
+    document: dict[str, Any] = {}
+    if kind is not None:
+        document["kind"] = kind
+    for field in dataclasses.fields(type(cell)):
+        value = getattr(cell, field.name)
+        if field.name != "device" and value == field.default:
+            continue
+        if field.name in ("pattern_params", "device_params", "labels"):
+            document[field.name] = dict(value)
+        elif field.name == "streams":
+            document[field.name] = _streams_to_document(value)
+        elif field.name == "fleet":
+            document[field.name] = topology_to_document(
+                FleetTopology.from_json(value), kind=None)
+        elif field.name == "faults":
+            document[field.name] = _faults_to_document(value)
+        else:
+            document[field.name] = value
+    return document
+
+
+def cell_from_document(document: Any, *, path: str = "cell"):
+    """Build a validated :class:`~repro.experiments.sweep.CellSpec`."""
+    from repro.experiments.sweep import CellSpec
+
+    document = _as_mapping(document, path)
+    fields_by_name = _cell_fields()
+    _check_keys(document, path, ["kind", *fields_by_name])
+    if "kind" in document:
+        _as_str(document["kind"], f"{path}.kind", choices=("cell",))
+        document.pop("kind")
+    if "device" not in document and "fleet" not in document:
+        raise ConfigError(path, "missing required key 'device'")
+
+    fields: dict[str, Any] = {}
+    for key, value in document.items():
+        key_path = f"{path}.{key}"
+        if key in ("pattern_params", "device_params"):
+            fields[key] = _sorted_pairs(_scalar_mapping(value, key_path))
+        elif key == "labels":
+            fields[key] = _sorted_pairs(_scalar_mapping(value, key_path))
+        elif key == "streams":
+            fields[key] = _streams_from_document(value, key_path)
+        elif key == "fleet":
+            fields[key] = topology_from_document(value, path=key_path).canonical()
+        elif key == "faults":
+            fields[key] = _faults_from_document(value, key_path)
+        elif key in ("io_size", "queue_depth"):
+            fields[key] = _as_positive_int(value, key_path)
+        elif key in ("io_count", "total_bytes",
+                     "ssd_capacity_bytes", "essd_capacity_bytes",
+                     "fleet_shards"):
+            if value is not None:
+                value = _as_positive_int(value, key_path)
+            fields[key] = value
+        elif key == "write_ratio":
+            if value is not None:
+                value = _as_number(value, key_path, minimum=0.0)
+            fields[key] = value
+        elif key == "runtime_us":
+            if value is not None:
+                value = _as_number(value, key_path, positive=True)
+            fields[key] = value
+        elif key == "ramp_ios":
+            fields[key] = _as_int(value, key_path, minimum=0)
+        elif key == "think_time_us":
+            fields[key] = _as_number(value, key_path, minimum=0.0)
+        elif key == "seed":
+            fields[key] = _as_int(value, key_path)
+        elif key in ("preload", "trace"):
+            fields[key] = _as_bool(value, key_path)
+        elif key == "series_bin_us":
+            if value is not None and value != "auto":
+                value = _as_number(value, key_path, positive=True)
+            fields[key] = value
+        elif key == "pattern":
+            fields[key] = _as_str(value, key_path)
+        elif key == "device":
+            fields[key] = _as_str(value, key_path)
+        else:  # pragma: no cover - _check_keys rejects unknown keys
+            fields[key] = value
+    if "fleet" in fields:
+        fields.setdefault("device", "fleet")
+    else:
+        _check_device(fields["device"], f"{path}.device")
+    return CellSpec(**fields)
+
+
+# ---------------------------------------------------------------------------
+# Scenario documents
+# ---------------------------------------------------------------------------
+
+_SCENARIO_KEYS = ("kind", "name", "description", "devices", "base", "grid",
+                  "streams", "fleet", "seed", "seed_mode", "tags")
+
+
+def _base_fields() -> tuple[str, ...]:
+    """Keys a scenario ``base`` mapping may set: every cell field that is
+    not reserved for the expansion machinery, plus the two params
+    mappings."""
+    reserved = ("labels", "streams", "fleet")
+    return tuple(name for name in _cell_fields() if name not in reserved)
+
+
+def _base_from_document(value: Any, path: str) -> dict[str, Any]:
+    base = _as_mapping(value, path)
+    allowed = _base_fields()
+    fields: dict[str, Any] = {}
+    for key, entry in base.items():
+        key = _as_str(key, path)
+        if key not in allowed:
+            raise ConfigError(f"{path}.{key}",
+                              f"not a cell field "
+                              f"(known: {', '.join(sorted(allowed))})")
+        if key in ("pattern_params", "device_params"):
+            fields[key] = _sorted_pairs(_scalar_mapping(entry, f"{path}.{key}"))
+        else:
+            fields[key] = _as_scalar(entry, f"{path}.{key}")
+    return fields
+
+
+def scenario_to_document(spec) -> dict:
+    """The document form of a :class:`~repro.experiments.scenarios.ScenarioSpec`.
+
+    Scenarios defined with a ``cell_builder`` (the paper figures) have no
+    declarative form and raise :class:`ConfigError`.
+    """
+    from repro.cluster import FleetTopology
+
+    if spec.cell_builder is not None:
+        raise ConfigError(
+            "scenario", f"scenario {spec.name!r} is defined with a "
+                        f"cell_builder and has no document form")
+    document: dict[str, Any] = {
+        "kind": "scenario",
+        "name": spec.name,
+        "description": spec.description,
+        "devices": list(spec.devices),
+    }
+    if spec.base:
+        base = dict(spec.base)
+        for key in ("pattern_params", "device_params"):
+            if isinstance(base.get(key), (tuple, list)):
+                base[key] = dict(tuple(pair) for pair in base[key])
+        document["base"] = base
+    if spec.grid:
+        document["grid"] = {axis: list(values) for axis, values in spec.grid}
+    if spec.streams:
+        document["streams"] = _streams_to_document(spec.streams)
+    if spec.fleet is not None:
+        document["fleet"] = topology_to_document(
+            FleetTopology.from_json(spec.fleet), kind=None)
+    if spec.seed != 17:
+        document["seed"] = spec.seed
+    if spec.seed_mode != "fixed":
+        document["seed_mode"] = spec.seed_mode
+    if spec.tags:
+        document["tags"] = list(spec.tags)
+    return document
+
+
+def scenario_from_document(document: Any, *, path: str = "scenario"):
+    """Build a validated :class:`~repro.experiments.scenarios.ScenarioSpec`."""
+    from repro.experiments.scenarios import scenario
+
+    document = _as_mapping(document, path)
+    _check_keys(document, path, _SCENARIO_KEYS, required=("name",))
+    if "kind" in document:
+        _as_str(document["kind"], f"{path}.kind", choices=("scenario",))
+    name = _as_str(document["name"], f"{path}.name")
+    description = document.get("description", "")
+    if description:
+        description = _as_str(description, f"{path}.description")
+
+    fleet = document.get("fleet")
+    if fleet is not None:
+        fleet = topology_from_document(fleet, path=f"{path}.fleet")
+
+    if "devices" in document:
+        devices = [_as_str(entry, f"{path}.devices[{index}]")
+                   for index, entry in enumerate(
+                       _as_list(document["devices"], f"{path}.devices"))]
+        if not devices:
+            raise ConfigError(f"{path}.devices",
+                              "expected at least one device")
+        if fleet is None:
+            for index, device in enumerate(devices):
+                _check_device(device, f"{path}.devices[{index}]")
+    elif fleet is not None:
+        devices = ["fleet"]
+    else:
+        raise ConfigError(path, "missing required key 'devices' "
+                                "(or an inline 'fleet' topology)")
+
+    base = _base_from_document(document.get("base", {}), f"{path}.base")
+
+    grid: dict[str, Sequence[Any]] = {}
+    for axis, values in _as_mapping(document.get("grid", {}),
+                                    f"{path}.grid").items():
+        axis = _as_str(axis, f"{path}.grid")
+        axis_path = f"{path}.grid.{axis}"
+        values = _as_list(values, axis_path)
+        if not values:
+            raise ConfigError(axis_path, "expected at least one value")
+        grid[axis] = [_as_scalar(value, f"{axis_path}[{index}]")
+                      for index, value in enumerate(values)]
+
+    streams = _streams_from_document(document.get("streams", {}),
+                                     f"{path}.streams")
+
+    seed = _as_int(document.get("seed", 17), f"{path}.seed")
+    seed_mode = _as_str(document.get("seed_mode", "fixed"),
+                        f"{path}.seed_mode", choices=("fixed", "derived"))
+    tags = [_as_str(entry, f"{path}.tags[{index}]")
+            for index, entry in enumerate(
+                _as_list(document.get("tags", []), f"{path}.tags"))]
+
+    try:
+        return scenario(
+            name=name, description=description, devices=devices, base=base,
+            grid=grid,
+            streams={stream: dict(overrides) for stream, overrides in streams},
+            fleet=fleet, seed=seed, seed_mode=seed_mode, tags=tags)
+    except ValueError as error:
+        raise ConfigError(path, str(error)) from None
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+def document_kind(document: Any, *, path: str = "document") -> str:
+    """The normalized kind of a standalone document.
+
+    An explicit ``kind`` key wins; otherwise the kind is inferred from the
+    structure (``groups`` -> fleet, ``devices``/``base``/``grid`` ->
+    scenario, ``device`` -> cell).
+    """
+    document = _as_mapping(document, path)
+    kind = document.get("kind")
+    if kind is not None:
+        kind = _as_str(kind, f"{path}.kind",
+                       choices=("scenario", "fleet", "topology", "cell"))
+        return "fleet" if kind == "topology" else kind
+    if "groups" in document:
+        return "fleet"
+    if "devices" in document or "base" in document or "grid" in document:
+        return "scenario"
+    if "device" in document:
+        return "cell"
+    raise ConfigError(path, "cannot infer document kind "
+                            "(add kind: scenario | fleet | cell)")
+
+
+def scenario_for_document(document: Any, *, path: str = "document"):
+    """A runnable :class:`ScenarioSpec` for a scenario *or* fleet document.
+
+    A bare fleet document registers as a single-cell fleet scenario named
+    after the topology (its optional top-level ``description`` and ``tags``
+    feed the wrapper), so user fleets appear beside the built-ins in
+    ``list`` / ``run`` / ``fleet`` with no scenario boilerplate.
+    """
+    from repro.experiments.scenarios import scenario
+
+    kind = document_kind(document, path=path)
+    if kind == "scenario":
+        return scenario_from_document(document, path=path)
+    if kind == "cell":
+        raise ConfigError(path, "a cell document is not runnable as a "
+                                "scenario (wrap it in kind: scenario)")
+    topology = topology_from_document(document, path=path)
+    description = document.get("description") or \
+        f"user fleet {topology.name!r} (config document)"
+    description = _as_str(description, f"{path}.description")
+    tags = [_as_str(entry, f"{path}.tags[{index}]")
+            for index, entry in enumerate(
+                _as_list(document.get("tags", []), f"{path}.tags"))]
+    if "fleet" not in tags:
+        tags.append("fleet")
+    if "config" not in tags:
+        tags.append("config")
+    return scenario(name=topology.name, description=description,
+                    devices=("fleet",), fleet=topology, tags=tags)

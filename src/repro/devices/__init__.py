@@ -16,12 +16,20 @@ See :mod:`repro.devices.protocol` for the contract and
 from repro.devices import catalog  # noqa: F401  (registers the built-ins)
 from repro.devices.loopback import LoopbackDevice
 from repro.devices.protocol import Device
-from repro.devices.registry import create_device, device_names, register_device
+from repro.devices.registry import (
+    create_device,
+    device_names,
+    profile_fields,
+    register_device,
+    register_profile_fields,
+)
 
 __all__ = [
     "Device",
     "LoopbackDevice",
     "create_device",
     "device_names",
+    "profile_fields",
     "register_device",
+    "register_profile_fields",
 ]

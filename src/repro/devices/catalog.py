@@ -14,13 +14,15 @@ quorum follows it down (a quorum can never exceed the replica count).
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import fields, replace
 from typing import TYPE_CHECKING, Optional
 
 from repro.devices.loopback import LoopbackDevice
-from repro.devices.registry import register_device
+from repro.devices.registry import register_device, register_profile_fields
 from repro.ebs import EssdDevice, alibaba_pl3_profile, aws_io2_profile
+from repro.ebs.config import EssdProfile
 from repro.ssd import SsdDevice, samsung_970pro_profile
+from repro.ssd.config import SsdConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Simulator
@@ -75,3 +77,16 @@ def _build_loopback(sim: "Simulator", capacity_bytes: Optional[int] = None,
                     name: Optional[str] = None, **kwargs) -> LoopbackDevice:
     return LoopbackDevice(sim, capacity_bytes or (1 << 30),
                           name=name or "loopback", **kwargs)
+
+
+# Declared override keys, used by the config layer to validate
+# ``device_params`` documents at load time.  The SSD factory additionally
+# accepts ``op_ratio`` (a profile-derivation knob, not a dataclass field);
+# LOOP forwards arbitrary kwargs and stays unvalidated.
+_SSD_FIELDS = (*(field.name for field in fields(SsdConfig)), "op_ratio")
+_ESSD_FIELDS = tuple(field.name for field in fields(EssdProfile))
+
+register_profile_fields("SSD", _SSD_FIELDS)
+register_profile_fields("ESSD-1", _ESSD_FIELDS)
+register_profile_fields("ESSD-2", _ESSD_FIELDS)
+register_profile_fields("LOOP", None)

@@ -21,7 +21,7 @@ registers itself on import of :mod:`repro.devices`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.devices.protocol import Device
@@ -30,6 +30,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 DeviceFactory = Callable[..., "Device"]
 
 _FACTORIES: dict[str, DeviceFactory] = {}
+
+#: Per-family override keys accepted by the factory (``device_params`` in a
+#: fleet document).  ``None`` means "unvalidated": the family accepts
+#: arbitrary kwargs and config validation passes everything through.
+_PROFILE_FIELDS: dict[str, Optional[tuple[str, ...]]] = {}
 
 
 class UnknownDeviceError(ValueError, KeyError):
@@ -61,6 +66,31 @@ def register_device(device_name: str,
 def device_names() -> list[str]:
     """All registered device names, sorted."""
     return sorted(_FACTORIES)
+
+
+def register_profile_fields(device_name: str,
+                            fields: Optional[Sequence[str]]) -> None:
+    """Declare the override keys ``device_name``'s factory accepts.
+
+    The config layer validates ``device_params`` documents against this set
+    so a typo'd knob fails at load time with a path-addressed error instead
+    of a ``TypeError`` deep inside a worker process.  Pass ``None`` to mark
+    the family as accepting arbitrary kwargs (no validation).
+    """
+    _PROFILE_FIELDS[device_name] = None if fields is None else tuple(fields)
+
+
+def profile_fields(device_name: str) -> Optional[tuple[str, ...]]:
+    """The declared override keys for ``device_name``.
+
+    Returns ``None`` when the family never declared a field set (arbitrary
+    kwargs allowed).  Unknown families raise :class:`UnknownDeviceError`.
+    """
+    if device_name not in _FACTORIES:
+        known = ", ".join(device_names())
+        raise UnknownDeviceError(
+            f"unknown device {device_name!r}; known: {known}")
+    return _PROFILE_FIELDS.get(device_name)
 
 
 def create_device(sim: "Simulator", device_name: str,

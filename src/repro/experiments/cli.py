@@ -33,7 +33,11 @@ from typing import Optional, Sequence
 from repro.experiments import runner as paper_runner  # noqa: F401  (registers run_all)
 from repro.experiments import table1
 from repro.experiments.common import format_table
-from repro.experiments.scenarios import all_scenarios, get_scenario
+from repro.experiments.scenarios import (
+    all_scenarios,
+    get_scenario,
+    load_user_scenarios,
+)
 from repro.experiments.sweep import (
     SweepCache,
     SweepResult,
@@ -83,25 +87,63 @@ def _print_traces(result) -> None:
                                 "mean_us", "p99_us", "GB/s"], rows))
 
 
+def _print_scan_warnings() -> None:
+    """Surface $REPRO_SCENARIO_PATH files that failed to load (stderr)."""
+    for file, message in load_user_scenarios():
+        print(f"warning: skipped scenario document {file}: {message}",
+              file=sys.stderr)
+
+
 def _cmd_list(_args) -> int:
+    _print_scan_warnings()
     rows = []
     for spec in all_scenarios():
-        rows.append([spec.name, str(len(spec.cells())),
+        try:
+            cell_count = str(len(spec.cells()))
+        except ValueError:
+            cell_count = "?"
+        rows.append([spec.name, cell_count,
                      ",".join(spec.tags) or "-", spec.description])
     print(format_table(["Scenario", "Cells", "Tags", "Description"], rows))
     return 0
 
 
+def _resolve_scenario(target: str):
+    """A registered scenario name, or a document file by path.
+
+    ``run``/``fleet``/``submit`` share this: any argument ending in a
+    config suffix (.yaml/.yml/.json) loads as a scenario or fleet
+    document; anything else must be a registered name.  Raises
+    ``ValueError`` with the one-line CLI error message.
+    """
+    from repro.config import SCENARIO_SUFFIXES, ConfigError, scenario_from_path
+
+    if Path(target).suffix in SCENARIO_SUFFIXES:
+        try:
+            return scenario_from_path(target)
+        except ConfigError as error:
+            raise ValueError(str(error)) from None
+    try:
+        return get_scenario(target)
+    except KeyError as error:
+        raise ValueError(error.args[0]) from None
+
+
 def _cmd_run(args) -> int:
     try:
-        spec = get_scenario(args.scenario)
-    except KeyError as error:
-        print(f"error: {error.args[0]}", file=sys.stderr)
+        spec = _resolve_scenario(args.scenario)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     if spec.name == "table1":
         print(table1.render_table1(table1.run_table1()))
         return 0
-    cells = spec.cells()
+    try:
+        cells = spec.cells()
+    except ValueError as error:
+        print(f"error: cannot expand scenario {spec.name!r}: {error}",
+              file=sys.stderr)
+        return 2
     if args.quick:
         cells = quick_cells(cells)
     if not cells:
@@ -155,11 +197,16 @@ def _cmd_fleet(args) -> int:
     from repro.experiments.sweep import fleet_cell_metrics
 
     try:
-        spec = get_scenario(args.scenario)
-    except KeyError as error:
-        print(f"error: {error.args[0]}", file=sys.stderr)
+        spec = _resolve_scenario(args.scenario)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
-    cells = spec.cells()
+    try:
+        cells = spec.cells()
+    except ValueError as error:
+        print(f"error: cannot expand scenario {spec.name!r}: {error}",
+              file=sys.stderr)
+        return 2
     if args.quick:
         cells = quick_cells(cells)
     fleet_cells = [cell for cell in cells if cell.fleet is not None]
@@ -326,6 +373,163 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    """Validate config documents without running anything (exit 2 on any)."""
+    from repro.config import (
+        ConfigError,
+        cell_from_document,
+        document_kind,
+        load_document,
+        scenario_for_document,
+    )
+
+    failures = 0
+    for file in args.files:
+        try:
+            document = load_document(file)
+            kind = document_kind(document, path=file)
+            if kind == "cell":
+                cell = cell_from_document(document, path=file)
+                print(f"{file}: OK (cell, device {cell.device!r})")
+            else:
+                spec = scenario_for_document(document, path=file)
+                print(f"{file}: OK ({kind} {spec.name!r}, "
+                      f"{len(spec.cells())} cells)")
+        except ConfigError as error:
+            print(f"error: {error}", file=sys.stderr)
+            failures += 1
+        except ValueError as error:
+            # cells() expansion (bad grid axis, broken fleet invariant)
+            print(f"error: {file}: {error}", file=sys.stderr)
+            failures += 1
+    return 2 if failures else 0
+
+
+def _check_endpoint(args) -> Optional[str]:
+    """Shared --socket/--port validation; an error message or None."""
+    if (args.socket is None) == (args.port is None):
+        return "pass exactly one of --socket PATH or --port N"
+    return None
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import ExperimentServer
+
+    problem = _check_endpoint(args)
+    if problem:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    _print_scan_warnings()
+    server = ExperimentServer(
+        socket_path=args.socket, host=args.host, port=args.port,
+        max_pending=args.max_pending, job_workers=args.job_workers,
+        cache_dir=args.cache_dir, no_cache=args.no_cache,
+        parallel=not args.serial, sweep_workers=args.workers,
+        fleet_shards=args.shards)
+    try:
+        server.start()
+    except OSError as error:
+        print(f"error: cannot bind {args.socket or args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    print(f"serving on {server.address} "
+          f"(max-pending {args.max_pending}, "
+          f"{args.job_workers} job worker(s))", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _event_metric_summary(metrics: dict) -> str:
+    """One-line metric summary for a streamed cell (device or fleet cell)."""
+    headline = metrics.get("fleet", {}).get("fleet") \
+        if isinstance(metrics.get("fleet"), dict) else None
+    headline = headline or metrics
+    parts = []
+    for metric in _TABLE_METRICS:
+        value = headline.get(metric)
+        if isinstance(value, (int, float)):
+            parts.append(f"{metric}={value:.2f}")
+    return " ".join(parts) or "(no headline metrics)"
+
+
+def _cmd_submit(args) -> int:
+    from repro.config import SCENARIO_SUFFIXES, ConfigError, load_document
+    from repro.serve import ServeClient
+
+    problem = _check_endpoint(args)
+    if problem:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    document = None
+    scenario_name = None
+    target = Path(args.target)
+    if target.suffix in SCENARIO_SUFFIXES:
+        try:
+            document = load_document(target)
+        except ConfigError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        scenario_name = args.target
+    try:
+        with ServeClient(socket_path=args.socket, host=args.host,
+                         port=args.port, timeout=args.timeout) as client:
+            response = client.submit(scenario=scenario_name,
+                                     document=document, quick=args.quick,
+                                     watch=not args.no_watch)
+            if not response.get("ok"):
+                print(f"error: submission rejected: "
+                      f"{response.get('reason')}", file=sys.stderr)
+                return 2
+            if args.json:
+                print(json.dumps(response, sort_keys=True), flush=True)
+            else:
+                print(f"accepted {response['job']}: "
+                      f"{response['scenario']} "
+                      f"({response['cells']} cells, "
+                      f"position {response['position']})", flush=True)
+            if args.no_watch:
+                return 0
+            terminal = None
+            for event in client.stream():
+                if args.json:
+                    print(json.dumps(event, sort_keys=True), flush=True)
+                elif event["event"] == "cell":
+                    labels = json.dumps(event["labels"], sort_keys=True)
+                    cached = " (cached)" if event["cached"] else ""
+                    print(f"cell {event['index'] + 1}/{event['total']} "
+                          f"{labels} "
+                          f"{_event_metric_summary(event['metrics'])}"
+                          f"{cached}", flush=True)
+                if event["event"] in ("done", "failed", "error"):
+                    terminal = event
+    except (ConnectionError, TimeoutError, OSError) as error:
+        endpoint = args.socket or f"{args.host}:{args.port}"
+        print(f"error: cannot reach server at {endpoint}: {error}",
+              file=sys.stderr)
+        return 2
+    if terminal is None or terminal["event"] != "done":
+        reason = (terminal or {}).get("reason", "stream ended early")
+        print(f"error: job failed: {reason}", file=sys.stderr)
+        return 1
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(terminal, indent=2, sort_keys=True))
+        print(f"result saved to {path}")
+    if not args.json:
+        results = terminal["results"]
+        cached = sum(1 for entry in results if entry["cached"])
+        print(f"{terminal['job']} done: {len(results)} cells "
+              f"({cached} cached)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -414,6 +618,70 @@ def build_parser() -> argparse.ArgumentParser:
                                         "Figures 2-5)")
     report_parser.add_argument("--quick", action="store_true")
     report_parser.set_defaults(func=_cmd_report)
+
+    validate_parser = sub.add_parser(
+        "validate", help="validate scenario/fleet/cell config documents "
+                         "(YAML/JSON) without running them")
+    validate_parser.add_argument("files", nargs="+", metavar="FILE")
+    validate_parser.set_defaults(func=_cmd_validate)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the persistent experiment service "
+                      "(line-JSON protocol, see repro.serve)")
+    serve_parser.add_argument("--socket", default=None, metavar="PATH",
+                              help="listen on this unix socket")
+    serve_parser.add_argument("--port", type=int, default=None, metavar="N",
+                              help="listen on localhost TCP port N "
+                                   "(0 = ephemeral)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="TCP bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--max-pending", type=int, default=8,
+                              help="admission control: queued jobs beyond "
+                                   "this are rejected with a reason "
+                                   "(default 8)")
+    serve_parser.add_argument("--job-workers", type=int, default=1,
+                              help="concurrently running jobs (default 1)")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="result-cache directory (default: "
+                                   "$REPRO_SWEEP_CACHE or .sweep-cache)")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the result cache entirely")
+    serve_parser.add_argument("--serial", action="store_true",
+                              help="run cells in-process instead of worker "
+                                   "processes")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="sweep worker-process count")
+    serve_parser.add_argument("--shards", type=int, default=1,
+                              help="shard count applied to fleet cells")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a scenario (registered name or document "
+                       "file) to a running serve process")
+    submit_parser.add_argument("target",
+                               help="registered scenario name, or a "
+                                    "YAML/JSON document file")
+    submit_parser.add_argument("--socket", default=None, metavar="PATH",
+                               help="connect to this unix socket")
+    submit_parser.add_argument("--port", type=int, default=None, metavar="N",
+                               help="connect to localhost TCP port N")
+    submit_parser.add_argument("--host", default="127.0.0.1",
+                               help="TCP host (default 127.0.0.1)")
+    submit_parser.add_argument("--quick", action="store_true",
+                               help="shrink per-cell I/O budgets (same as "
+                                    "run/fleet --quick)")
+    submit_parser.add_argument("--no-watch", action="store_true",
+                               help="return after admission instead of "
+                                    "streaming results")
+    submit_parser.add_argument("--timeout", type=float, default=300.0,
+                               help="per-response timeout in seconds "
+                                    "(default 300)")
+    submit_parser.add_argument("--json", action="store_true",
+                               help="print raw protocol events as JSON lines")
+    submit_parser.add_argument("--out", default=None,
+                               help="save the terminal result JSON to this "
+                                    "path")
+    submit_parser.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -160,6 +160,24 @@ class ScenarioSpec:
                 ))
         return cells
 
+    def to_document(self) -> dict[str, Any]:
+        """The YAML/JSON document form (see :mod:`repro.config`).
+
+        ``cell_builder`` scenarios (the paper figures) have no declarative
+        form and raise :class:`repro.config.ConfigError`.
+        """
+        from repro.config import scenario_to_document
+
+        return scenario_to_document(self)
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any],
+                      path: str = "scenario") -> "ScenarioSpec":
+        """Build from a document, validating with path-addressed errors."""
+        from repro.config import scenario_from_document
+
+        return scenario_from_document(document, path=path)
+
 
 def _apply_fleet_axis(payload: dict, axis: str, value: Any) -> None:
     """Apply a ``fleet.*`` grid axis onto a topology payload (in place).
@@ -276,6 +294,7 @@ def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
 
 
 def get_scenario(name: str) -> ScenarioSpec:
+    load_user_scenarios()
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -284,7 +303,50 @@ def get_scenario(name: str) -> ScenarioSpec:
 
 
 def all_scenarios() -> list[ScenarioSpec]:
+    load_user_scenarios()
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# ---------------------------------------------------------------------------
+# User scenario documents ($REPRO_SCENARIO_PATH)
+# ---------------------------------------------------------------------------
+
+#: The ``$REPRO_SCENARIO_PATH`` value last scanned (``None`` = never) and
+#: the warnings that scan produced.  The scan re-runs whenever the variable
+#: changes (tests flip it per-case) and is otherwise a no-op.
+_SCANNED_PATH: Optional[str] = None
+_SCAN_WARNINGS: list[tuple[str, str]] = []
+
+
+def load_user_scenarios(force: bool = False) -> list[tuple[str, str]]:
+    """Register scenario documents from ``$REPRO_SCENARIO_PATH``.
+
+    Every ``*.yaml`` / ``*.yml`` / ``*.json`` file in the listed directories
+    is loaded through :mod:`repro.config` and registered with
+    ``replace=True`` (user documents may shadow built-ins deliberately).
+    Returns ``(file, message)`` warnings for files that failed to load --
+    callers surface them; a bad file never aborts the scan.  Memoized on the
+    environment value; pass ``force=True`` to rescan (e.g. after editing a
+    document in a live ``serve`` process).
+    """
+    global _SCANNED_PATH
+
+    import os
+
+    raw = os.environ.get("REPRO_SCENARIO_PATH", "")
+    if raw == _SCANNED_PATH and not force:
+        return list(_SCAN_WARNINGS)
+    _SCANNED_PATH = raw
+    _SCAN_WARNINGS.clear()
+    if not raw:
+        return []
+    from repro.config import scan_scenario_dirs
+
+    specs, warnings = scan_scenario_dirs()
+    for spec in specs:
+        register(spec, replace=True)
+    _SCAN_WARNINGS.extend(warnings)
+    return list(warnings)
 
 
 # ---------------------------------------------------------------------------

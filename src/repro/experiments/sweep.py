@@ -30,11 +30,13 @@ registered in :mod:`repro.experiments.scenarios`.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import hashlib
 import itertools
 import json
 import math
 import os
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, replace
 from functools import lru_cache
@@ -207,6 +209,21 @@ class CellSpec:
     def stream_specs(self) -> list[tuple[str, dict[str, Any]]]:
         """The streams as ``(name, overrides-dict)`` pairs (run order)."""
         return [(name, dict(overrides)) for name, overrides in self.streams]
+
+    def to_document(self) -> dict[str, Any]:
+        """The human-editable document form (defaults omitted, mappings
+        instead of sorted pairs); see :mod:`repro.config`."""
+        from repro.config import cell_to_document
+
+        return cell_to_document(self)
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any],
+                      path: str = "cell") -> "CellSpec":
+        """Build from a document, validating with path-addressed errors."""
+        from repro.config import cell_from_document
+
+        return cell_from_document(document, path=path)
 
     def cache_key(self) -> str:
         # Labels are cosmetic (display/lookup only); excluding them keeps the
@@ -545,9 +562,21 @@ class SweepCache:
             "cell": cell.to_payload(),
             "metrics": dict(metrics),
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(canonical_json(payload))
-        tmp.replace(path)
+        # Atomic publish: a private temp file in the same directory, then
+        # os.replace.  Concurrent writers of the same cell (several serve
+        # jobs, a serve job racing a batch CLI) each rename a complete file,
+        # so a reader can never observe a torn JSON -- and a crash mid-write
+        # leaves only a stray *.tmp, never a corrupt cache entry.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=f".{path.stem}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(canonical_json(payload))
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
         return path
 
 

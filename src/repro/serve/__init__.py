@@ -1,0 +1,39 @@
+"""Persistent experiment service: submit fleets to a running process.
+
+``python -m repro.experiments serve --socket /tmp/repro.sock`` starts an
+:class:`ExperimentServer`: a long-lived process that accepts scenario and
+fleet submissions -- registered names or inline YAML/JSON documents (see
+:mod:`repro.config`) -- over a line-delimited JSON protocol on a unix
+socket or localhost TCP, schedules them on the shared
+:class:`~repro.experiments.sweep.SweepRunner` pool with the existing
+result cache, and streams incremental per-cell metrics plus a terminal
+result back to subscribed clients.
+
+Determinism contract: server-side execution runs the exact same cells
+through the exact same runner as the batch CLI, so it hits the same
+``$REPRO_SWEEP_CACHE`` keys and returns bit-identical metrics -- a serve
+submission is a remote ``fleet``/``run`` invocation, never a different
+experiment.
+
+Admission control: the job queue is bounded (``--max-pending``);
+submissions beyond the bound are rejected immediately with a reason
+instead of queueing unboundedly, mirroring the overload-shedding
+semantics the simulated fleets themselves implement.
+
+* :mod:`repro.serve.protocol` -- the wire format (one JSON object per
+  line) and the framing helper shared by both ends.
+* :mod:`repro.serve.server` -- :class:`ExperimentServer`.
+* :mod:`repro.serve.client` -- :class:`ServeClient`, backing the
+  ``submit`` CLI verb and the tests.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import TERMINAL_EVENTS, LineChannel
+from repro.serve.server import ExperimentServer
+
+__all__ = [
+    "ExperimentServer",
+    "LineChannel",
+    "ServeClient",
+    "TERMINAL_EVENTS",
+]

@@ -1,0 +1,115 @@
+"""Line-delimited JSON wire protocol for the experiment service.
+
+Every message -- request or event -- is one JSON object on one
+``\\n``-terminated line, UTF-8 encoded.  Requests carry an ``op``:
+
+``{"op": "ping"}``
+    Liveness probe; answers ``{"ok": true, "event": "pong", ...}``.
+``{"op": "submit", "scenario": "fleet-smoke"}``
+``{"op": "submit", "document": {...}}``
+    Submit a registered scenario by name, or an inline scenario/fleet
+    document (validated through :mod:`repro.config`).  Optional keys:
+    ``"quick": true`` shrinks cell I/O budgets exactly like the batch
+    ``--quick`` flag; ``"watch": false`` returns after the
+    accepted/rejected response instead of streaming events.  Answers
+    ``{"ok": true, "event": "accepted", "job": "job-1", ...}`` or
+    ``{"ok": false, "event": "rejected", "reason": "..."}`` (admission
+    control, unknown name, invalid document).
+``{"op": "status", "job": "job-1"}`` / ``{"op": "jobs"}``
+    Snapshot of one job / of every job the server knows.
+``{"op": "watch", "job": "job-1"}``
+    Replay the job's buffered events, then stream live ones until a
+    terminal event.
+``{"op": "shutdown"}``
+    Ask the server to stop (used by tests and orchestration scripts).
+
+Streamed events all carry ``event``, ``job``, and a server-global,
+monotonically increasing ``seq`` (interleaving between concurrent jobs is
+observable by sequence number): ``started``, one ``cell`` per finished
+cell (``index``/``total``/``cached``/``metrics``), and a terminal
+``done`` (full ``results`` list) or ``failed`` (``reason``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import socket
+from typing import Any, Optional
+
+__all__ = ["TERMINAL_EVENTS", "LineChannel", "ProtocolError"]
+
+#: Events after which a job's stream produces nothing further.
+TERMINAL_EVENTS = ("done", "failed")
+
+#: Refuse absurd lines rather than buffering without bound.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (bad JSON, oversized line, non-object payload)."""
+
+
+class LineChannel:
+    """Framing wrapper around a connected socket: one JSON object per line.
+
+    ``recv`` returns ``None`` on a clean EOF and raises ``socket.timeout``
+    when the underlying socket times out with no complete line buffered
+    (callers poll their stop flag and retry).
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buffer = bytearray()
+        self._eof = False
+
+    def send(self, message: dict[str, Any]) -> None:
+        data = json.dumps(message, sort_keys=True).encode() + b"\n"
+        self._sock.sendall(data)
+
+    def recv(self) -> Optional[dict[str, Any]]:
+        while True:
+            line = self._take_line()
+            if line is not None:
+                return self._decode(line)
+            if self._eof:
+                return None
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                self._eof = True
+                continue
+            self._buffer.extend(chunk)
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ProtocolError(
+                    f"line exceeds {MAX_LINE_BYTES} bytes")
+
+    def _take_line(self) -> Optional[bytes]:
+        newline = self._buffer.find(b"\n")
+        if newline < 0:
+            # At EOF a trailing unterminated fragment is still a frame.
+            if self._eof and self._buffer:
+                line = bytes(self._buffer)
+                self._buffer.clear()
+                return line
+            return None
+        line = bytes(self._buffer[:newline])
+        del self._buffer[:newline + 1]
+        return line
+
+    def _decode(self, line: bytes) -> dict[str, Any]:
+        try:
+            message = json.loads(line.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"bad frame: {error}") from None
+        if not isinstance(message, dict):
+            raise ProtocolError(
+                f"expected a JSON object per line, got {type(message).__name__}")
+        return message
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self._sock.settimeout(timeout)
+
+    def close(self) -> None:
+        with contextlib.suppress(OSError):
+            self._sock.shutdown(socket.SHUT_RDWR)
+        self._sock.close()

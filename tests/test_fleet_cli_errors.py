@@ -111,6 +111,52 @@ def test_macro_valid_override_still_succeeds(error_scenario, capsys):
 
 
 # ---------------------------------------------------------------------------
+# Unknown-scenario and document-path error paths on every verb
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("verb", ["run", "fleet"])
+def test_unknown_scenario_lists_known_choices(verb, capsys):
+    assert cli_main([verb, "definitely-not-registered"]) == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "unknown scenario" in captured.err
+    assert "known:" in captured.err
+    assert "fleet-smoke" in captured.err
+    assert "Traceback" not in captured.err
+
+
+@pytest.mark.parametrize("verb", ["run", "fleet"])
+def test_invalid_document_path_is_a_clean_error(verb, tmp_path, capsys):
+    bad = tmp_path / "bad-fleet.json"
+    bad.write_text(json.dumps({"kind": "fleet", "name": "bad",
+                               "groups": [{"name": "g", "device": "LOOP",
+                                           "count": -1}]}))
+    assert cli_main([verb, str(bad)]) == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "groups[0].count: expected positive int" in captured.err
+    assert "Traceback" not in captured.err
+
+
+# ---------------------------------------------------------------------------
+# serve/submit endpoint validation
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("verb", ["serve", "submit"])
+@pytest.mark.parametrize("endpoint", [
+    [],                                     # neither transport
+    ["--socket", "/tmp/x.sock", "--port", "1"],  # both transports
+])
+def test_endpoint_must_be_exactly_one_transport(verb, endpoint, capsys):
+    args = [verb] if verb == "serve" else [verb, "fleet-smoke"]
+    assert cli_main([*args, *endpoint]) == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "exactly one of --socket" in captured.err
+    assert "Traceback" not in captured.err
+
+
+# ---------------------------------------------------------------------------
 # approximate=True through sweep results and diff_results
 # ---------------------------------------------------------------------------
 

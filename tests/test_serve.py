@@ -1,0 +1,342 @@
+"""Integration tests for the experiment service (repro.serve).
+
+The core contracts under test:
+
+* **Bit-identity** -- a fleet defined only as a document, submitted to a
+  running server over a unix socket, produces metrics byte-identical to an
+  independent batch run of the same document, hits the same sweep-cache
+  key, and ``diff_results`` between the two runs is clean.
+* **Streaming** -- watchers receive ``started``, one ``cell`` per finished
+  cell, and a terminal ``done`` carrying the full result list; late
+  watchers get the buffered history replayed.
+* **Concurrency** -- two submissions of distinct scenarios on a
+  two-worker server both complete, with interleaved event streams
+  (observable through the server-global ``seq``).
+* **Admission control** -- submissions beyond ``max_pending`` are rejected
+  immediately with a reason.
+
+Every server runs on a pytest tmp_path unix socket (or an ephemeral TCP
+port) and is torn down via the context manager, so the suite never leaks
+threads or sockets past a test -- teardown is deterministic and bounded.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cluster import FleetTopology, fleet, group, tenant
+from repro.config import scenario_for_document, topology_to_document
+from repro.experiments.scenarios import register, scenario
+from repro.experiments.sweep import (
+    CellOutcome,
+    CellSpec,
+    SweepCache,
+    SweepResult,
+    SweepRunner,
+    diff_results,
+)
+from repro.serve import ExperimentServer, ServeClient
+
+MINI_CAPACITY = 1 << 24
+
+
+def loop_fleet(name: str, io_count: int = 400, count: int = 3,
+               seed: int = 17) -> FleetTopology:
+    return fleet(
+        name,
+        groups=[group("grp", "LOOP", count, capacity_bytes=MINI_CAPACITY)],
+        tenants=[tenant("t", "grp", pattern="randwrite", io_size=4096,
+                        queue_depth=4, io_count=io_count)],
+        seed=seed,
+    )
+
+
+def fleet_document(name: str, **kwargs) -> dict:
+    return topology_to_document(loop_fleet(name, **kwargs))
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = ExperimentServer(socket_path=tmp_path / "serve.sock",
+                                cache_dir=tmp_path / "serve-cache",
+                                job_workers=2, max_pending=4)
+    with instance:
+        yield instance
+
+
+def client_for(server: ExperimentServer) -> ServeClient:
+    return ServeClient(socket_path=server.socket_path, timeout=60.0)
+
+
+# ---------------------------------------------------------------------------
+# Protocol basics
+# ---------------------------------------------------------------------------
+
+def test_ping(server):
+    with client_for(server) as client:
+        response = client.ping()
+    assert response["ok"]
+    assert response["event"] == "pong"
+    assert response["max_pending"] == 4
+
+
+def test_unknown_op_reports_choices(server):
+    with client_for(server) as client:
+        response = client.request({"op": "frobnicate"})
+    assert not response["ok"]
+    assert "submit" in response["reason"]
+
+
+def test_unknown_scenario_rejected_with_known_list(server):
+    with client_for(server) as client:
+        response = client.submit(scenario="no-such-scenario")
+    assert not response["ok"]
+    assert response["event"] == "rejected"
+    assert "known" in response["reason"]
+
+
+def test_invalid_document_rejected_with_path(server):
+    doc = fleet_document("broken")
+    doc["groups"][0]["count"] = 0
+    with client_for(server) as client:
+        response = client.submit(document=doc)
+    assert not response["ok"]
+    assert "groups[0].count: expected positive int" in response["reason"]
+
+
+def test_tcp_transport(tmp_path):
+    with ExperimentServer(port=0, cache_dir=tmp_path / "cache",
+                          job_workers=1) as server:
+        with ServeClient(port=server.port, timeout=60.0) as client:
+            assert client.ping()["ok"]
+            terminal, events = client.run(
+                document=fleet_document("tcp-fleet", io_count=60))
+    assert terminal["event"] == "done"
+    assert len(terminal["results"]) == 1
+
+
+def test_shutdown_op(tmp_path):
+    server = ExperimentServer(socket_path=tmp_path / "s.sock",
+                              cache_dir=tmp_path / "cache")
+    server.start()
+    with ServeClient(socket_path=server.socket_path, timeout=60.0) as client:
+        assert client.shutdown()["event"] == "stopping"
+    server._stop.wait(timeout=30.0)
+    assert server._stop.is_set()
+    server.stop()  # idempotent
+    assert not server.socket_path.exists()
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity with the batch path
+# ---------------------------------------------------------------------------
+
+def test_served_document_is_bit_identical_to_batch_run(server, tmp_path):
+    """The acceptance criterion: document -> serve == batch fleet run."""
+    doc = fleet_document("identity-fleet", io_count=200)
+    with client_for(server) as client:
+        terminal, events = client.run(document=doc)
+    assert terminal["event"] == "done"
+    [served] = terminal["results"]
+    assert not served["cached"]
+
+    # Independent batch run of the same document, in a *separate* cache.
+    spec = scenario_for_document(doc)
+    batch = SweepRunner(cache_dir=tmp_path / "batch-cache").run(spec)
+    [outcome] = batch.outcomes
+
+    # Bit-identical metrics and the same cache key on both sides.
+    assert served["metrics"] == outcome.metrics
+    assert served["cache_key"] == outcome.cell.cache_key()
+
+    # The server populated its cache under that key: the batch CLI pointed
+    # at the server's cache directory gets a pure cache hit.
+    rerun = SweepRunner(cache_dir=server._runner_kwargs["cache_dir"]).run(spec)
+    assert rerun.outcomes[0].cached
+    assert rerun.outcomes[0].metrics == outcome.metrics
+
+    # diff_results between the served and batch sweeps is clean.
+    served_result = SweepResult(scenario=spec.name, outcomes=[
+        CellOutcome(cell=spec.cells()[0], metrics=served["metrics"])])
+    rows = diff_results(served_result, batch, metric="mean_us")
+    assert all(row["relative_change"] == 0.0 for row in rows)
+
+
+def test_repeat_submission_is_served_from_cache(server):
+    doc = fleet_document("cache-fleet", io_count=100)
+    with client_for(server) as client:
+        first, _ = client.run(document=doc)
+    with client_for(server) as client:
+        second, events = client.run(document=doc)
+    assert [entry["cached"] for entry in first["results"]] == [False]
+    assert [entry["cached"] for entry in second["results"]] == [True]
+    assert first["results"][0]["metrics"] == second["results"][0]["metrics"]
+
+
+def test_registered_name_and_document_share_cache_entries(server):
+    """Submitting by registered name == submitting the same document."""
+    topology = loop_fleet("twin-fleet", io_count=100)
+    register(scenario("twin-fleet", "python twin", devices=("fleet",),
+                      fleet=topology, tags=("fleet",)), replace=True)
+    with client_for(server) as client:
+        by_name, _ = client.run(scenario="twin-fleet")
+    with client_for(server) as client:
+        by_doc, _ = client.run(document=topology_to_document(topology))
+    assert by_name["event"] == by_doc["event"] == "done"
+    # Same cache key, so the second submission was a pure hit.
+    assert by_name["results"][0]["cache_key"] == \
+        by_doc["results"][0]["cache_key"]
+    assert by_doc["results"][0]["cached"]
+    assert by_name["results"][0]["metrics"] == by_doc["results"][0]["metrics"]
+
+
+# ---------------------------------------------------------------------------
+# Streaming
+# ---------------------------------------------------------------------------
+
+def test_stream_carries_per_cell_metrics_and_terminal(server):
+    register(scenario(
+        "serve-grid", "multi-cell serve scenario", devices=("fleet",),
+        fleet=loop_fleet("serve-grid-fleet", io_count=60),
+        grid={"fleet.seed": (1, 2, 3)}, tags=("fleet",)), replace=True)
+    with client_for(server) as client:
+        terminal, events = client.run(scenario="serve-grid")
+    kinds = [event["event"] for event in events]
+    assert kinds == ["started", "cell", "cell", "cell", "done"]
+    cells = [event for event in events if event["event"] == "cell"]
+    assert [event["index"] for event in cells] == [0, 1, 2]
+    for event in cells:
+        assert event["total"] == 3
+        assert event["metrics"]["ios_completed"] > 0
+    seqs = [event["seq"] for event in events]
+    assert seqs == sorted(seqs)
+    assert len(terminal["results"]) == 3
+
+
+def test_late_watcher_replays_buffered_events(server):
+    doc = fleet_document("watch-fleet", io_count=60)
+    with client_for(server) as client:
+        response = client.submit(document=doc, watch=False)
+        assert response["ok"]
+        job = response["job"]
+        # Poll until the job finishes, then watch: the full history replays.
+        deadline_attempts = 300
+        for _ in range(deadline_attempts):
+            if client.status(job)["state"] == "done":
+                break
+            threading.Event().wait(0.05)
+        assert client.status(job)["state"] == "done"
+        client.send({"op": "watch", "job": job})
+        events = list(client.stream())
+    assert [event["event"] for event in events] == ["started", "cell", "done"]
+
+
+# ---------------------------------------------------------------------------
+# Concurrency and admission control
+# ---------------------------------------------------------------------------
+
+def test_concurrent_submissions_interleave(server):
+    """Two distinct scenarios on a two-worker server: both complete, and
+    their event streams interleave (global seq ranges overlap)."""
+    for name in ("conc-a", "conc-b"):
+        register(scenario(
+            name, f"concurrency scenario {name}", devices=("fleet",),
+            fleet=loop_fleet(f"{name}-fleet", io_count=4000),
+            grid={"fleet.seed": (1, 2, 3, 4)}, tags=("fleet",)),
+            replace=True)
+    terminals: dict[str, dict] = {}
+    streams: dict[str, list] = {}
+
+    def run_one(name: str) -> None:
+        with client_for(server) as client:
+            terminal, events = client.run(scenario=name)
+            terminals[name] = terminal
+            streams[name] = events
+
+    threads = [threading.Thread(target=run_one, args=(name,))
+               for name in ("conc-a", "conc-b")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=90.0)
+    assert terminals["conc-a"]["event"] == "done"
+    assert terminals["conc-b"]["event"] == "done"
+    assert len(terminals["conc-a"]["results"]) == 4
+    assert len(terminals["conc-b"]["results"]) == 4
+
+    seq_a = [event["seq"] for event in streams["conc-a"]]
+    seq_b = [event["seq"] for event in streams["conc-b"]]
+    # Interleaved: neither job's whole event range precedes the other's.
+    assert min(seq_a) < max(seq_b) and min(seq_b) < max(seq_a)
+
+
+def test_admission_control_rejects_beyond_max_pending(tmp_path):
+    # job_workers=0: nothing drains the queue, so pending builds up
+    # deterministically until admission control trips.
+    with ExperimentServer(socket_path=tmp_path / "s.sock",
+                          cache_dir=tmp_path / "cache",
+                          job_workers=0, max_pending=2) as server:
+        doc = fleet_document("shed-fleet", io_count=10)
+        with ServeClient(socket_path=server.socket_path,
+                         timeout=60.0) as client:
+            first = client.submit(document=doc, watch=False)
+            second = client.submit(document=doc, watch=False)
+            third = client.submit(document=doc, watch=False)
+    assert first["ok"] and second["ok"]
+    assert not third["ok"]
+    assert third["event"] == "rejected"
+    assert "queue full" in third["reason"]
+    assert "max-pending 2" in third["reason"]
+
+
+def test_empty_submission_rejected(server):
+    with client_for(server) as client:
+        response = client.request({"op": "submit"})
+    assert not response["ok"]
+    assert "exactly one" in response["reason"]
+
+
+# ---------------------------------------------------------------------------
+# The submit CLI verb against a live server
+# ---------------------------------------------------------------------------
+
+def test_submit_cli_verb_streams_and_saves(server, tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    doc = fleet_document("cli-fleet", io_count=60)
+    path = tmp_path / "cli-fleet.json"
+    path.write_text(json.dumps(doc))
+    out_path = tmp_path / "result.json"
+    code = main(["submit", str(path), "--socket", str(server.socket_path),
+                 "--out", str(out_path)])
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    assert "accepted job-" in captured.out
+    assert "cell 1/1" in captured.out
+    assert "done" in captured.out
+    saved = json.loads(out_path.read_text())
+    assert saved["event"] == "done"
+    assert len(saved["results"]) == 1
+
+
+def test_submit_cli_rejection_exits_2(server, capsys):
+    from repro.experiments.cli import main
+
+    code = main(["submit", "no-such-scenario",
+                 "--socket", str(server.socket_path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+    assert "rejected" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_submit_cli_unreachable_server_exits_2(tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    code = main(["submit", "fleet-smoke",
+                 "--socket", str(tmp_path / "absent.sock")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cannot reach server" in captured.err

@@ -316,6 +316,73 @@ def test_cache_ignores_corrupt_and_mismatched_entries(tmp_path):
     assert cache.load("tiny", cell) is None
 
 
+def test_cache_store_survives_crash_mid_write(tmp_path, monkeypatch):
+    """A writer dying mid-store must never corrupt an existing entry.
+
+    The store path is temp-file + os.replace; simulate the crash by making
+    the payload serializer blow up after the previous entry is in place."""
+    cache = SweepCache(tmp_path)
+    cell = TINY_SWEEP.cells()[0]
+    cache.store("tiny", cell, {"throughput_gbps": 1.0})
+
+    import repro.experiments.sweep as sweep_module
+
+    def explode(payload):
+        raise RuntimeError("simulated crash mid-write")
+
+    monkeypatch.setattr(sweep_module, "canonical_json", explode)
+    with pytest.raises(RuntimeError, match="simulated crash"):
+        cache.store("tiny", cell, {"throughput_gbps": 2.0})
+    monkeypatch.undo()
+
+    # The prior entry is intact and loadable, and the aborted write left
+    # no temp file behind to confuse later directory scans.
+    assert cache.load("tiny", cell) == {"throughput_gbps": 1.0}
+    entry_dir = cache.path_for("tiny", cell).parent
+    assert [p.name for p in entry_dir.iterdir()] == \
+        [cache.path_for("tiny", cell).name]
+
+    # And a subsequent healthy store atomically replaces the entry.
+    cache.store("tiny", cell, {"throughput_gbps": 3.0})
+    assert cache.load("tiny", cell) == {"throughput_gbps": 3.0}
+
+
+def test_cache_concurrent_stores_never_tear(tmp_path):
+    """Racing writers of the same cell each publish a complete file: a
+    reader polling throughout must only ever see a fully-formed entry."""
+    import threading
+
+    cache = SweepCache(tmp_path)
+    cell = TINY_SWEEP.cells()[0]
+    cache.store("tiny", cell, {"value": -1.0})
+    stop = threading.Event()
+    torn: list = []
+
+    def reader():
+        while not stop.is_set():
+            metrics = cache.load("tiny", cell)
+            if metrics is None or "value" not in metrics:
+                torn.append(metrics)
+
+    def writer(worker: int):
+        for round_index in range(50):
+            cache.store("tiny", cell,
+                        {"value": float(worker * 100 + round_index)})
+
+    observer = threading.Thread(target=reader)
+    writers = [threading.Thread(target=writer, args=(index,))
+               for index in range(4)]
+    observer.start()
+    for thread in writers:
+        thread.start()
+    for thread in writers:
+        thread.join()
+    stop.set()
+    observer.join()
+    assert torn == []
+    assert "value" in cache.load("tiny", cell)
+
+
 def test_sweep_result_save_load_find_and_diff(tmp_path):
     cells = TINY_SWEEP.cells()[:3]
     result = SweepRunner().run_cells("tiny", cells)
