@@ -79,6 +79,20 @@ TRACKED: tuple[tuple[str, str, str], ...] = (
     ("BENCH_macro.json", "speedup.macro_vs_discrete", "higher"),
 )
 
+#: Absolute wall-clock floors: ``(artifact, metric, floor, skip flag)``.
+#: Unlike the relative TRACKED gates these compare against a fixed target
+#: rather than a committed baseline -- but wall-clock scaling only means
+#: anything when the host has the cores, so a truthy value at the *skip
+#: flag* path in the current artifact downgrades the row to informational
+#: (the 1-2 core tier-1 runners) instead of failing it.  On a >= 4-core
+#: runner the flag is false and the floor is a real gate.
+FLOORS: tuple[tuple[str, str, float, str], ...] = (
+    ("BENCH_fleet.json", "shards.4.by_transport.shm.scaling_efficiency",
+     0.7, "shards.4.by_transport.shm.scaling_informational"),
+    ("BENCH_fleet.json", "shards.2.by_transport.shm.speedup_vs_serial",
+     1.0, "shards.2.by_transport.shm.scaling_informational"),
+)
+
 
 def lookup(payload: Any, dotted: str) -> Optional[float]:
     """Resolve ``a.b.c`` through nested dicts; None when any hop is missing."""
@@ -142,6 +156,34 @@ def compare(baseline_dir: Path, current_dir: Path,
             "metric": metric,
             "direction": direction,
             "baseline": base,
+            "current": current,
+            "delta": delta,
+            "status": status,
+        })
+    for artifact, metric, floor, skip_flag in FLOORS:
+        current_payload = load_artifact(current_dir, artifact) or {}
+        current = lookup(current_payload, metric)
+        informational = bool(lookup(current_payload, skip_flag))
+        delta = None
+        if current is None:
+            status = "MISSING"
+            regressions += 1
+        elif informational:
+            # The artifact itself says this host cannot measure scaling
+            # (cpu_count < shards) -- record the number, gate nothing.
+            status = "info-only"
+        else:
+            delta = (current - floor) / floor
+            if current < floor:
+                status = "BELOW-FLOOR"
+                regressions += 1
+            else:
+                status = "ok"
+        rows.append({
+            "artifact": artifact,
+            "metric": metric,
+            "direction": "higher",
+            "baseline": floor,
             "current": current,
             "delta": delta,
             "status": status,

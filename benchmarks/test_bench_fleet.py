@@ -6,15 +6,20 @@ four tenants, one 2-way replication edge) through the cluster layer at 1,
 
 * ``shards=1`` is the in-process serial reference path;
 * ``shards=2/4`` run each shard in a dedicated worker process behind the
-  conservative epoch barrier.
+  conservative epoch barrier, once per process transport (``executor``,
+  the pickle baseline, and ``shm``, the shared-memory rings).
 
-The hard gate is **bit-identical fleet metrics across every layout** --
-the property that makes sharding safe to use at all.  Wall-clock speedup
-and scaling efficiency are *recorded* in ``BENCH_fleet.json`` (with the
-host's CPU count for context) rather than gated hard: a host with fewer
-cores than shards cannot speed up, so those layouts carry a
+The hard gate is **bit-identical fleet metrics across every layout and
+transport** -- the property that makes sharding safe to use at all.
+Wall-clock speedup and scaling efficiency are *recorded* per transport in
+``BENCH_fleet.json`` (each ``shards`` entry names the transport that
+produced its headline numbers and carries every transport's numbers under
+``by_transport``) rather than gated hard: a host with fewer cores than
+shards cannot speed up, so those layouts carry a
 ``scaling_informational`` flag and are exempt from the overhead floor
-(the floor still gates layouts the host can parallelise).
+(the floor still gates layouts the host can parallelise, and
+``compare_bench.py`` turns the 4-shard ``shm`` efficiency into a real
+floor on multi-core runners).
 
 A second section measures **multi-epoch batching** on the trace-driven
 ``datacenter-diurnal`` fleet (steady replica traffic over many epochs):
@@ -33,7 +38,7 @@ import os
 import time
 from pathlib import Path
 
-from repro.cluster import FleetCoordinator, FleetTopology
+from repro.cluster import FleetCoordinator, FleetRunConfig, FleetTopology
 from repro.cluster.coordinator import DEFAULT_RUN_AHEAD
 from repro.experiments.scenarios import get_scenario
 from repro.experiments.sweep import quick_cells
@@ -47,13 +52,18 @@ MIN_SPEEDUP = 0.15
 
 SHARD_COUNTS = (1, 2, 4)
 
+#: Process transports measured at every sharded layout.
+PROCESS_TRANSPORTS = ("executor", "shm")
+
 
 def _strip_runtime(payload: dict) -> dict:
     return {key: value for key, value in payload.items() if key != "runtime"}
 
 
-def _run(topology: FleetTopology, shards: int) -> tuple[dict, float]:
-    coordinator = FleetCoordinator(shards=shards, processes=shards > 1)
+def _run(topology: FleetTopology, shards: int,
+         transport: str) -> tuple[dict, float]:
+    coordinator = FleetCoordinator(
+        config=FleetRunConfig(shards=shards, transport=transport))
     started = time.perf_counter()
     payload = coordinator.run(topology)
     return payload, time.perf_counter() - started
@@ -118,23 +128,21 @@ def test_fleet_shard_scaling_and_artifact():
     assert topology.total_devices >= 64
 
     runs = {}
-    for shards in SHARD_COUNTS:
-        payload, wall_s = _run(topology, shards)
-        runs[shards] = {
-            "payload": payload,
-            "wall_s": wall_s,
-            "events": payload["runtime"]["scheduled_events"],
-            "epochs": payload["runtime"]["epochs"],
-        }
-
-    # Hard gate: every shard layout produces byte-identical fleet metrics.
-    reference = json.dumps(_strip_runtime(runs[1]["payload"]), sort_keys=True)
+    runs[(1, "local")] = _run(topology, 1, "local")
     for shards in SHARD_COUNTS[1:]:
-        assert json.dumps(_strip_runtime(runs[shards]["payload"]),
-                          sort_keys=True) == reference, \
-            f"shards={shards} diverged from the serial reference"
+        for transport in PROCESS_TRANSPORTS:
+            runs[(shards, transport)] = _run(topology, shards, transport)
 
-    serial_wall = runs[1]["wall_s"]
+    # Hard gate: every (layout, transport) pair produces byte-identical
+    # fleet metrics.
+    reference = json.dumps(_strip_runtime(runs[(1, "local")][0]),
+                           sort_keys=True)
+    for (shards, transport), (payload_, _) in runs.items():
+        assert json.dumps(_strip_runtime(payload_), sort_keys=True) \
+            == reference, \
+            f"shards={shards} over {transport} diverged from serial"
+
+    serial_wall = runs[(1, "local")][1]
     cpu_count = os.cpu_count() or 1
     payload = {
         "benchmark": "fleet",
@@ -147,20 +155,22 @@ def test_fleet_shard_scaling_and_artifact():
             "epoch_us": topology.epoch_us,
         },
         "cpu_count": cpu_count,
-        "fleet_ios": runs[1]["payload"]["fleet"]["ios_completed"],
-        "replica_writes": runs[1]["payload"]["fleet"]["replica_writes"],
+        "fleet_ios": runs[(1, "local")][0]["fleet"]["ios_completed"],
+        "replica_writes": runs[(1, "local")][0]["fleet"]["replica_writes"],
         "shards": {},
     }
-    for shards in SHARD_COUNTS:
-        run = runs[shards]
-        speedup = serial_wall / run["wall_s"] if run["wall_s"] > 0 else 0.0
-        runtime = run["payload"]["runtime"]
-        payload["shards"][str(shards)] = {
-            "wall_s": round(run["wall_s"], 4),
-            "events": run["events"],
-            "events_per_sec": round(run["events"] / run["wall_s"])
-            if run["wall_s"] > 0 else 0,
-            "epochs": run["epochs"],
+
+    def scaling_entry(shards: int, transport: str) -> dict:
+        run_payload, wall_s = runs[(shards, transport)]
+        runtime = run_payload["runtime"]
+        speedup = serial_wall / wall_s if wall_s > 0 else 0.0
+        return {
+            "transport": transport,
+            "wall_s": round(wall_s, 4),
+            "events": runtime["scheduled_events"],
+            "events_per_sec": round(runtime["scheduled_events"] / wall_s)
+            if wall_s > 0 else 0,
+            "epochs": runtime["epochs"],
             "coordinator_rounds": runtime["coordinator_rounds"],
             "coordination_tasks": runtime["coordination_tasks"],
             "speedup_vs_serial": round(speedup, 3),
@@ -168,9 +178,25 @@ def test_fleet_shard_scaling_and_artifact():
             # With fewer cores than shards the workers time-slice one CPU,
             # so speedup/efficiency describe the host, not the simulator --
             # consumers of the artifact must treat them as informational.
+            # The flag is per-entry so it stays correct for *every*
+            # transport's numbers, not just the headline one.
             "scaling_informational": cpu_count < shards,
         }
+
+    payload["shards"]["1"] = scaling_entry(1, "local")
+    for shards in SHARD_COUNTS[1:]:
+        # The headline numbers come from the transport auto-resolution
+        # would pick on this host; every measured transport keeps its own
+        # entry (with its own informational flag) under by_transport.
+        auto = FleetRunConfig(shards=shards).resolve_transport()
+        entry = scaling_entry(shards, auto)
+        entry["by_transport"] = {
+            transport: scaling_entry(shards, transport)
+            for transport in PROCESS_TRANSPORTS
+        }
+        payload["shards"][str(shards)] = entry
     payload["headline_speedup"] = payload["shards"]["4"]["speedup_vs_serial"]
+    payload["headline_transport"] = payload["shards"]["4"]["transport"]
     payload["headline_informational"] = \
         payload["shards"]["4"]["scaling_informational"]
     payload["coordination"] = _coordination_section()
@@ -183,7 +209,7 @@ def test_fleet_shard_scaling_and_artifact():
     # but only gate layouts the host can actually parallelise; oversubscribed
     # layouts (cpu_count < shards) are recorded as informational only.
     for shards in SHARD_COUNTS[1:]:
-        entry = payload["shards"][str(shards)]
-        if entry["scaling_informational"]:
-            continue
-        assert entry["speedup_vs_serial"] >= MIN_SPEEDUP, payload
+        for entry in payload["shards"][str(shards)]["by_transport"].values():
+            if entry["scaling_informational"]:
+                continue
+            assert entry["speedup_vs_serial"] >= MIN_SPEEDUP, payload

@@ -115,16 +115,77 @@ with groups flipped to macro (or back) from the CLI::
 The override is part of the sweep cache key: macro and discrete runs of
 the same scenario never collide.
 
-Run-ahead windows
------------------
+Shard transports
+----------------
+The coordinator never talks to worker processes directly: it posts
+advance grants to a :class:`~repro.cluster.ShardTransport` and waits for
+the responses.  Three implementations ship (``repro.cluster.transport``):
+
+``local`` (:class:`~repro.cluster.InProcessTransport`)
+    Every shard as a plain in-process object.  The serial reference path;
+    what ``shards=1`` or ``processes=False`` resolve to.
+
+``executor`` (:class:`~repro.cluster.ExecutorTransport`)
+    The faithful multi-process baseline: one persistent single-worker
+    ``ProcessPoolExecutor`` per shard, one pickled task round-trip per
+    grant.  Default process transport on 1-core hosts, where there is no
+    parallelism to lose.
+
+``shm`` (:class:`~repro.cluster.SharedMemoryTransport`)
+    ``multiprocessing.shared_memory`` rings per coordinator<->shard pair
+    plus a lock-free barrier word per shard: workers spin-then-sleep on
+    their command word (``spin_budget`` hot spins, then escalating
+    sleeps), messages travel as fixed 64-byte struct-encoded slots, and
+    batches that outgrow the ring spill to a pipe side channel --
+    correctness never depends on buffer size.  Default process transport
+    on multi-core hosts.
+
+``transport="auto"`` (the default) picks between them by host shape;
+every choice is bit-identical, so the knob only moves wall clock.
+``BENCH_fleet.json`` records each transport's scaling per shard count.
+
+FleetRunConfig: every execution knob in one place
+-------------------------------------------------
+:class:`~repro.cluster.FleetRunConfig` collapses the scattered execution
+knobs into one dataclass accepted uniformly by ``FleetCoordinator``,
+``run_fleet``, ``SweepRunner(fleet_config=...)``, the ``fleet`` / ``run``
+/ ``serve`` verbs, and config documents (as a ``run:`` block)::
+
+    from repro.cluster import FleetRunConfig, run_fleet
+
+    config = FleetRunConfig(shards=4, transport="shm", run_ahead=32)
+    payload = run_fleet(topology, config)           # or config.merged(...)
+
+Fields: ``shards``, ``run_ahead``, ``epoch_us``, ``transport`` (one of
+``auto | local | executor | shm``), ``spin_budget``, ``processes``
+(deprecated tri-state alias for ``transport``), ``max_epochs``.  None of
+them may change simulation results -- bit-identity across every
+combination is gated by the determinism tests; only ``epoch_us`` is
+physics (it rescales the synchronization grid) and therefore the only
+field that enters the sweep cache key.
+
+The pre-transport spellings -- ``FleetCoordinator(shards=...,
+processes=..., run_ahead=...)``, ``SweepRunner(fleet_shards=...)``,
+``CellSpec.fleet_shards``, and the bare ``--shards`` / ``--run-ahead``
+CLI flags -- survive as thin deprecated aliases that merge into a
+``FleetRunConfig``.  They will be removed two releases after the
+transport layer landed (see ROADMAP "Shard transport"); new code should
+pass a ``FleetRunConfig`` (or a document ``run:`` block).
+
+Run-ahead windows and coupling components
+-----------------------------------------
 The coordinator synchronizes shards on the ``epoch_us`` barrier, but it
-only needs a barrier *per epoch* when a replication edge actually spans
-two shards.  The device-affinity partitioner keeps edge clusters together
-whenever the shard count allows, and every shard whose edges are fully
-intra-shard self-delivers its own replica traffic -- so the coordinator
-grants those shards a **run-ahead window** of ``run_ahead`` epochs (default
-16) per task instead of one.  On long trace-driven fleets this cuts
-coordination tasks per simulated second by roughly the window size (see
+only needs a barrier *per epoch* inside a **coupling component**: the
+union-find closure of shards joined by a cross-shard replication edge or
+a fault group/spare pair.  The device-affinity partitioner keeps edge
+clusters together whenever the shard count allows; each multi-shard
+component locksteps its members per epoch while every singleton
+component self-delivers its own replica traffic and receives a
+**run-ahead window** of ``run_ahead`` epochs (default 16) per task
+instead of one -- both gears run concurrently in the same coordinator
+loop (``runtime["components"]`` / ``runtime["lockstep_shards"]`` report
+the split).  On long trace-driven fleets this cuts coordination tasks
+per simulated second by roughly the window size (see
 ``BENCH_fleet.json``'s ``coordination`` section); metrics stay
 bit-identical for every ``run_ahead`` value, ``run_ahead=1`` restores the
 per-epoch barrier, and ``runtime["coordinator_rounds"]`` /
@@ -137,6 +198,7 @@ Registered fleet scenarios (see ``python -m repro.experiments list``, tag
 
     python -m repro.experiments fleet fleet-smoke                 # serial
     python -m repro.experiments fleet fleet-smoke --shards 4      # sharded
+    python -m repro.experiments fleet fleet-smoke --shards 4 --transport shm
     python -m repro.experiments fleet datacenter-diurnal --quick
     python -m repro.experiments fleet fleet-smoke --shards 4 --out report.json
     python -m repro.experiments fleet fleet-smoke --run-ahead 1   # per-epoch
@@ -156,14 +218,20 @@ The fault-scenario family exercises the schedule machinery end to end::
                       "device": 0, "repair_after_us": 8000.0}],
           "policy": {"shed_penalty_us": 150.0}}'
 
-``--shards 1`` *is* the serial path; any ``--shards N`` (and any
-``--run-ahead``) produces the same fleet metrics (only the ``runtime``
-section -- wall clock, events/sec, coordination, partition -- differs).
-Deterministic fleet metrics cache under ``$REPRO_SWEEP_CACHE`` (default
-``.sweep-cache``) exactly like ``run`` sweeps: shard count and run-ahead
-are excluded from the cache key, ``--force`` re-runs, ``--no-cache``
-disables.  ``run <scenario> --shards N`` nests the same sharding inside
-the sweep pool for scenarios whose cells carry fleets.
+``--shards 1`` *is* the serial path; any ``--shards N``, ``--transport``
+and ``--run-ahead`` combination produces the same fleet metrics (only the
+``runtime`` section -- wall clock, events/sec, coordination, partition --
+differs).  When a scenario document carries its own ``run:`` block,
+``--transport`` / ``--spin-budget`` override it, while the deprecated
+``--shards`` / ``--run-ahead`` / ``--epoch-us`` aliases *error* on a
+contradiction (path-addressed, exit 2) rather than silently winning --
+edit the document or drop the flag.  Deterministic fleet metrics cache
+under ``$REPRO_SWEEP_CACHE`` (default ``.sweep-cache``) exactly like
+``run`` sweeps: every execution knob except ``epoch_us`` (the one field
+that changes physics) is excluded from the cache key, ``--force``
+re-runs, ``--no-cache`` disables.  ``run <scenario> --shards N`` nests
+the same sharding inside the sweep pool for scenarios whose cells carry
+fleets.
 
 Config documents (no Python required)
 -------------------------------------
@@ -180,6 +248,15 @@ produce bit-identical metrics and share sweep-cache entries::
     # Register permanently: every document in the directories on
     # $REPRO_SCENARIO_PATH appears in `list` and runs by name.
     REPRO_SCENARIO_PATH=examples python -m repro.experiments list
+
+``kind: fleet`` documents accept a ``run:`` block mirroring
+:class:`~repro.cluster.FleetRunConfig` -- only the non-default fields,
+so the empty block is the default config::
+
+    run:
+      shards: 4
+      transport: shm      # auto | local | executor | shm
+      run_ahead: 32
 
 (YAML needs the optional ``config`` extra, ``pip install repro[config]``;
 JSON documents work without it.)
@@ -215,6 +292,7 @@ Programmatic access goes through :class:`repro.serve.ServeClient`::
 
 from repro.cluster import (
     FleetCoordinator,
+    FleetRunConfig,
     edge,
     fleet,
     group,
@@ -254,11 +332,13 @@ def main() -> None:
           f"{len(topology.tenants)} tenants, {len(topology.edges)} edges")
 
     serial = run_fleet_serial(topology)
-    sharded = FleetCoordinator(shards=4).run(topology)
+    config = FleetRunConfig(shards=4)  # transport="auto" picks by host
+    sharded = FleetCoordinator(config=config).run(topology)
 
     for label, result in (("serial", serial), ("4 shards", sharded)):
         runtime = result["runtime"]
-        print(f"\n[{label}] {runtime['epochs']} epochs, "
+        print(f"\n[{label}] {runtime['epochs']} epochs "
+              f"({runtime['transport']} transport), "
               f"{runtime['wall_s']:.2f}s, {runtime['events_per_sec']:.0f} ev/s")
         for name, metrics in sorted(result["tenants"].items()):
             print(f"  {name:10s} {metrics['ios_completed']:5d} ios  "

@@ -7,9 +7,13 @@ Layer 5 of the stack (kernel -> devices -> workloads -> sweeps -> cluster):
 * :mod:`repro.cluster.shard` -- :class:`ShardWorker`, one simulator owning
   a slice of the fleet, advancing in bounded time epochs.
 * :mod:`repro.cluster.coordinator` -- :class:`FleetCoordinator`:
-  device-affinity partitioning, dedicated worker processes per shard, and
-  the conservative epoch barrier for cross-shard replica messages.
+  device-affinity partitioning and the conservative epoch barrier for
+  cross-shard replica messages, driven per coupling component.
   ``shards=1`` is the serial path; every layout is bit-identical.
+* :mod:`repro.cluster.transport` -- how grants and message batches move
+  between coordinator and shards (:class:`ShardTransport`): in-process
+  calls, a dedicated executor process per shard, or shared-memory rings;
+  all execution knobs collapse into :class:`FleetRunConfig`.
 * :mod:`repro.cluster.metrics` -- per-tenant / per-group / fleet-wide
   metric merges from the per-shard payloads.
 * :mod:`repro.cluster.macro` -- calibrated mean-field aggregates for
@@ -25,12 +29,21 @@ The sweep layer runs fleets through ``CellSpec.fleet``; the CLI exposes
 from repro.cluster.coordinator import (
     FleetCoordinator,
     partition_topology,
+    run_fleet,
     run_fleet_serial,
 )
 from repro.cluster.faults import FaultEvent, FaultInjector, FaultPolicy
 from repro.cluster.macro import MacroCalibration, MacroGroup, calibrate_workload
 from repro.cluster.metrics import fleet_headline, merge_shard_payloads
 from repro.cluster.shard import ReplicaMessage, ShardPlan, ShardWorker
+from repro.cluster.transport import (
+    ExecutorTransport,
+    FleetRunConfig,
+    InProcessTransport,
+    SharedMemoryTransport,
+    ShardTransport,
+    create_transport,
+)
 from repro.cluster.topology import (
     DeviceGroup,
     FleetTopology,
@@ -63,7 +76,14 @@ __all__ = [
     "MacroGroup",
     "calibrate_workload",
     "FleetCoordinator",
+    "FleetRunConfig",
+    "ShardTransport",
+    "InProcessTransport",
+    "ExecutorTransport",
+    "SharedMemoryTransport",
+    "create_transport",
     "partition_topology",
+    "run_fleet",
     "run_fleet_serial",
     "merge_shard_payloads",
     "fleet_headline",

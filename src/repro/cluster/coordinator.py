@@ -7,36 +7,41 @@ whenever the cluster count allows), and only when shards would otherwise
 sit empty is a shard's device list split at device granularity.
 
 Execution (:class:`FleetCoordinator`) is a conservative time-window loop
-with two gears:
+over **coupling components** (:func:`~repro.cluster.transport.coupling_components`):
+shard pairs joined by a cross-shard replication edge (or a fault
+group/spare pair) may exchange messages and must synchronize; shards no
+split edge touches can never see cross-shard traffic.  Each component
+picks its own gear:
 
-* **Batched run-ahead** -- when the partition keeps every replication edge
-  intra-shard (the common case: device-affinity placement glues edge
-  clusters together), no shard can ever emit cross-shard replica traffic,
-  so the coordinator grants each shard a window of ``run_ahead`` epochs
-  per task.  Shards step barrier-to-barrier internally, self-delivering
-  their own replica messages (see
+* **Batched run-ahead** -- a singleton component (every edge/fault that
+  touches the shard is intra-shard -- the common case: device-affinity
+  placement glues edge clusters together) is granted a window of
+  ``run_ahead`` epochs per task.  The shard steps barrier-to-barrier
+  internally, self-delivering its own replica messages (see
   :meth:`~repro.cluster.shard.ShardWorker.advance`), and the coordinator
   only rendezvouses once per window: coordination drops from one task per
   shard per busy epoch to one per shard per ``run_ahead`` window.
-* **Lockstep** -- when a split edge couples two shards, every shard
-  advances to the same barrier per task; emitted messages are routed to
-  the shard owning the target device and handed over exactly at their
-  ``delivery_epoch`` barrier, sorted by the layout-independent key
-  ``(delivery_us, origin_index, origin_seq)``.
+* **Lockstep** -- shards inside a multi-shard component advance to the
+  same barrier per task; emitted messages are routed to the shard owning
+  the target device and handed over exactly at their ``delivery_epoch``
+  barrier, sorted by the layout-independent key
+  ``(delivery_us, origin_index, origin_seq)``.  Other components advance
+  concurrently in the same coordinator round -- a split edge only
+  lockstops the shards it actually couples.
 
 In both gears a message is injected when its shard's clock sits exactly on
 the delivery barrier.  Because seeds, replica delivery times, and
 injection order all derive from logical identities (never from the shard
-layout or the granted windows), ``shards=1`` is bit-identical to any
-``shards=N`` run -- and ``shards=1`` in-process *is* the serial path.
-Topologies without replication edges skip the barrier loop entirely: each
-shard drains to completion in a single advance.
+layout, the granted windows, or the transport), ``shards=1`` is
+bit-identical to any ``shards=N`` run -- and ``shards=1`` in-process *is*
+the serial path.  Topologies without replication edges skip the barrier
+loop entirely: each shard drains to completion in a single advance.
 
-Process mode reuses the ``SweepRunner`` patterns (persistent
-``ProcessPoolExecutor``, derived seeds), with one twist: each shard gets a
-*dedicated single-worker* executor so the worker process keeps the shard's
-simulator resident between epoch tasks (plain shared pools give no
-task-to-process affinity).
+How grants and responses physically move between coordinator and shards
+is the :class:`~repro.cluster.transport.ShardTransport` contract
+(in-process calls, a dedicated single-worker executor per shard, or
+shared-memory rings -- see :mod:`repro.cluster.transport`); every knob
+lives on :class:`~repro.cluster.transport.FleetRunConfig`.
 """
 
 from __future__ import annotations
@@ -44,29 +49,22 @@ from __future__ import annotations
 import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Optional, Sequence
+from typing import Any, Optional
 
 from repro.cluster.metrics import merge_shard_payloads
-from repro.cluster.shard import (
-    ReplicaMessage,
-    ShardPlan,
-    ShardWorker,
-    _worker_advance,
-    _worker_collect,
-    _worker_init,
-    inbox_order,
-)
+from repro.cluster.shard import ReplicaMessage, ShardPlan, inbox_order
 from repro.cluster.topology import FleetTopology
+from repro.cluster.transport import (
+    DEFAULT_RUN_AHEAD,
+    MAX_EPOCHS,
+    FleetRunConfig,
+    coupling_components,
+    create_transport,
+)
 
-__all__ = ["partition_topology", "FleetCoordinator", "run_fleet_serial"]
-
-#: Safety bound on executed (non-skipped) epochs per run.
-MAX_EPOCHS = 200_000
-
-#: Default run-ahead window (epochs granted per task) for self-contained
-#: shards.
-DEFAULT_RUN_AHEAD = 16
+__all__ = ["partition_topology", "FleetCoordinator", "FleetRunConfig",
+           "run_fleet", "run_fleet_serial", "MAX_EPOCHS",
+           "DEFAULT_RUN_AHEAD"]
 
 #: Backwards-compatible alias (the key moved next to ReplicaMessage).
 _inbox_order = inbox_order
@@ -168,163 +166,112 @@ def partition_topology(topology: FleetTopology, shards: int) -> list[ShardPlan]:
 
 
 # ---------------------------------------------------------------------------
-# Shard backends: in-process and dedicated-worker-process execution
-# ---------------------------------------------------------------------------
-
-class _LocalShards:
-    """All shards as in-process objects (the serial / test path)."""
-
-    def __init__(self, topology: FleetTopology, plans: Sequence[ShardPlan]):
-        self.workers = [ShardWorker(topology, plan) for plan in plans]
-
-    def advance_all(self, until_us: Optional[float],
-                    inboxes: Sequence[list[ReplicaMessage]],
-                    self_deliver: bool = False,
-                    ) -> list[tuple[list[ReplicaMessage], float, int]]:
-        return [worker.advance(until_us, inbox, self_deliver)
-                for worker, inbox in zip(self.workers, inboxes)]
-
-    def advance_subset(self, shard_ids: Sequence[int],
-                       until_us: Optional[float], self_deliver: bool = False,
-                       ) -> list[tuple[list[ReplicaMessage], float, int]]:
-        return [self.workers[sid].advance(until_us, None, self_deliver)
-                for sid in shard_ids]
-
-    def collect_all(self) -> list[dict[str, Any]]:
-        return [worker.collect() for worker in self.workers]
-
-    def scheduled_events(self) -> int:
-        return sum(worker.sim.scheduled_events for worker in self.workers)
-
-    def close(self) -> None:
-        pass
-
-
-class _ProcessShards:
-    """One persistent single-worker ProcessPoolExecutor per shard."""
-
-    def __init__(self, topology: FleetTopology, plans: Sequence[ShardPlan]):
-        self.pools = [ProcessPoolExecutor(max_workers=1) for _ in plans]
-        payload = topology.canonical()
-        init = [pool.submit(_worker_init, payload, plan.to_payload())
-                for pool, plan in zip(self.pools, plans)]
-        for future in init:
-            future.result()
-        self._events = 0
-
-    def advance_all(self, until_us: Optional[float],
-                    inboxes: Sequence[list[ReplicaMessage]],
-                    self_deliver: bool = False,
-                    ) -> list[tuple[list[ReplicaMessage], float, int]]:
-        futures = [pool.submit(_worker_advance, until_us, inbox, self_deliver)
-                   for pool, inbox in zip(self.pools, inboxes)]
-        return [future.result() for future in futures]
-
-    def advance_subset(self, shard_ids: Sequence[int],
-                       until_us: Optional[float], self_deliver: bool = False,
-                       ) -> list[tuple[list[ReplicaMessage], float, int]]:
-        futures = [self.pools[sid].submit(_worker_advance, until_us, [],
-                                          self_deliver)
-                   for sid in shard_ids]
-        return [future.result() for future in futures]
-
-    def collect_all(self) -> list[dict[str, Any]]:
-        futures = [pool.submit(_worker_collect) for pool in self.pools]
-        payloads = [future.result() for future in futures]
-        self._events = sum(payload["scheduled_events"] for payload in payloads)
-        return payloads
-
-    def scheduled_events(self) -> int:
-        return self._events
-
-    def close(self) -> None:
-        for pool in self.pools:
-            pool.shutdown(wait=False)
-
-
-# ---------------------------------------------------------------------------
 # Coordinator
 # ---------------------------------------------------------------------------
 
 class FleetCoordinator:
     """Runs a :class:`FleetTopology` over ``shards`` shard simulators.
 
+    All execution knobs live on one
+    :class:`~repro.cluster.transport.FleetRunConfig`; pass it as
+    ``config=``.  The individual keyword arguments below are **deprecated
+    aliases** kept for pre-transport callers -- an explicitly passed
+    kwarg overrides the matching ``config`` field.
+
     Parameters
     ----------
     shards:
         Number of shard simulators (clamped to the device count).
     processes:
-        Run each shard in a dedicated worker process (default: only when
+        Run each shard in a worker process (default: only when
         ``shards > 1``).  In-process execution produces byte-identical
         payloads -- it is the same ShardWorker code -- so tests and the
         serial path use it directly.
     epoch_us:
         Override the topology's conservative synchronization window.
     run_ahead:
-        Epochs granted per coordinator task when the partition keeps every
-        replication edge intra-shard (see the module docstring).
-        ``run_ahead=1`` restores one-task-per-busy-epoch coordination.
+        Epochs granted per coordinator task to shards in singleton
+        coupling components (see the module docstring).  ``run_ahead=1``
+        restores one-task-per-busy-epoch coordination.
+    transport:
+        Concrete transport name (see
+        :data:`~repro.cluster.transport.TRANSPORTS`); default ``auto``.
+    spin_budget:
+        Hot-spin iterations before shared-memory waiters sleep.
+    config:
+        A :class:`FleetRunConfig` carrying all of the above.
     """
 
-    def __init__(self, shards: int = 1, processes: Optional[bool] = None,
+    def __init__(self, shards: Optional[int] = None,
+                 processes: Optional[bool] = None,
                  epoch_us: Optional[float] = None,
-                 max_epochs: int = MAX_EPOCHS,
-                 run_ahead: int = DEFAULT_RUN_AHEAD):
-        if shards < 1:
-            raise ValueError("shards must be >= 1")
-        if run_ahead < 1:
-            raise ValueError("run_ahead must be >= 1")
-        self.shards = shards
-        self.processes = (shards > 1) if processes is None else processes
-        self.epoch_us = epoch_us
-        self.max_epochs = max_epochs
-        self.run_ahead = run_ahead
+                 max_epochs: Optional[int] = None,
+                 run_ahead: Optional[int] = None,
+                 transport: Optional[str] = None,
+                 spin_budget: Optional[int] = None,
+                 config: Optional[FleetRunConfig] = None):
+        config = config if config is not None else FleetRunConfig()
+        self.config = config.merged(
+            shards=shards, processes=processes, epoch_us=epoch_us,
+            max_epochs=max_epochs, run_ahead=run_ahead, transport=transport,
+            spin_budget=spin_budget)
+        # Deprecated attribute aliases (read-only views of the config).
+        self.shards = self.config.shards
+        self.processes = self.config.resolve_transport() != "local"
+        self.epoch_us = self.config.epoch_us
+        self.max_epochs = self.config.max_epochs
+        self.run_ahead = self.config.run_ahead
 
     def run(self, topology: FleetTopology) -> dict[str, Any]:
         """Execute the fleet and return the merged metrics payload.
 
         The payload's ``fleet`` / ``tenants`` / ``groups`` sections are
-        bit-identical across shard counts, execution modes, and run-ahead
+        bit-identical across shard counts, transports, and run-ahead
         windows; wall-clock and coordination data live under ``runtime``.
         """
-        if self.epoch_us is not None:
-            topology = topology.scaled(epoch_us=self.epoch_us)
-        plans = partition_topology(topology, self.shards)
+        config = self.config
+        if config.epoch_us is not None:
+            topology = topology.scaled(epoch_us=config.epoch_us)
+        plans = partition_topology(topology, config.shards)
         owner = {index: plan.shard_id for plan in plans
                  for index in plan.device_indices}
         started = time.perf_counter()
-        backend = _ProcessShards(topology, plans) if self.processes \
-            else _LocalShards(topology, plans)
+        transport_kind = config.resolve_transport()
+        transport = create_transport(transport_kind, topology, plans,
+                                     spin_budget=config.spin_budget)
+        components = coupling_components(topology, owner, len(plans))
+        lockstep = [component for component in components
+                    if len(component) > 1]
+        batched = bool(topology.edges or topology.faults) and not lockstep
         epochs = 0
         rounds = 0
         tasks = 0
-        batched = False
         try:
             if not topology.edges and not topology.faults:
                 # No cross-device dependencies: each shard drains in one go.
-                backend.advance_all(None, [[] for _ in plans])
+                transport.advance_all(None, [[] for _ in plans])
                 rounds = 1
                 tasks = len(plans)
-            elif self._edges_shard_local(topology, owner):
-                batched = True
-                epochs, rounds, tasks = self._run_batched(topology, plans,
-                                                          backend)
             else:
-                epochs, rounds = self._run_lockstep(topology, plans, owner,
-                                                    backend)
-                tasks = rounds * len(plans)
-            payloads = backend.collect_all()
-            events = backend.scheduled_events()
+                epochs, rounds, tasks = self._run_components(
+                    topology, plans, owner, transport, components)
+            payloads = transport.collect_all()
+            events = transport.scheduled_events()
         finally:
-            backend.close()
+            transport.close()
         wall_s = time.perf_counter() - started
         result = merge_shard_payloads(topology, payloads)
         result["runtime"] = {
             "shards": len(plans),
-            "mode": "processes" if self.processes else "in-process",
+            "mode": "in-process" if transport_kind == "local"
+            else "processes",
+            "transport": transport_kind,
             "epochs": epochs,
             "batched": batched,
             "run_ahead": self.run_ahead,
+            "components": len(components),
+            "lockstep_shards": sum(len(component)
+                                   for component in lockstep),
             "coordinator_rounds": rounds,
             "coordination_tasks": tasks,
             "wall_s": wall_s,
@@ -335,138 +282,166 @@ class FleetCoordinator:
         }
         return result
 
-    @staticmethod
-    def _edges_shard_local(topology: FleetTopology,
-                           owner: dict[int, int]) -> bool:
-        """Whether every replication edge's source *and* target devices
-        landed on a single shard -- the precondition for run-ahead: no
-        shard can ever emit a cross-shard replica message.  Fault events
-        extend the same requirement to rebuild traffic: a failed group and
-        its rebuild targets (the hot spare, or the group's own surviving
-        peers) must share a shard."""
-        for edge in topology.edges:
-            touched = {owner[index]
-                       for index in topology.group_indices(edge.source)}
-            touched.update(owner[index]
-                           for index in topology.group_indices(edge.target))
-            if len(touched) > 1:
-                return False
-        for fault in topology.faults:
-            touched = {owner[index]
-                       for index in topology.group_indices(fault.group)}
-            if fault.spare is not None:
-                touched.update(owner[index]
-                               for index in topology.group_indices(fault.spare))
-            if len(touched) > 1:
-                return False
-        return True
+    def _run_components(self, topology: FleetTopology, plans, owner,
+                        transport, components) -> tuple[int, int, int]:
+        """Drive every coupling component through its own gear in a
+        single coordinator loop.
 
-    def _run_batched(self, topology: FleetTopology, plans,
-                     backend) -> tuple[int, int, int]:
-        """Grant every (self-contained) shard ``run_ahead`` epochs per
-        task; shards self-deliver intra-shard replica traffic and skip
-        idle epochs internally.  A shard reporting ``peek == inf`` is
-        drained for good (nothing can revive it without cross-shard
-        traffic) and receives no further tasks.  Returns
-        ``(epochs, rounds, tasks)``."""
+        Singleton components get batched ``run_ahead`` windows
+        (self-delivering their intra-shard traffic and skipping idle
+        epochs internally; a shard reporting ``peek == inf`` is drained
+        for good -- nothing can revive it without cross-shard traffic).
+        Multi-shard components run the conservative epoch-barrier
+        lockstep among *their members only*: collected messages wait at
+        the coordinator until the barrier matching their
+        ``delivery_epoch``; each member then receives them with its clock
+        sitting exactly on that barrier, sorted by the
+        layout-independent ``inbox_order`` key.  Every round posts all
+        grants before waiting on any, so independent components (and the
+        shards inside one component) advance concurrently on process
+        transports.  Returns ``(epochs, rounds, tasks)``."""
         epoch_us = topology.epoch_us
-        executed = [0] * len(plans)
+        overrun = RuntimeError(
+            f"fleet {topology.name!r} exceeded {self.max_epochs} "
+            f"epochs (epoch_us={epoch_us}); raise epoch_us or max_epochs")
+        singles = sorted(component[0] for component in components
+                         if len(component) == 1)
+        single_set = set(singles)
+        groups = [_LockstepGroup(component) for component in components
+                  if len(component) > 1]
+        group_of = {sid: grp for grp in groups for sid in grp.members}
         peeks = [0.0] * len(plans)
+        executed = [0] * len(plans)
+        #: Shared run-ahead cursor across the singleton shards (kept
+        #: global, not per-shard, so coordination-task counts match the
+        #: pre-transport batched gear exactly).
         index = 0
         rounds = 0
         tasks = 0
         while True:
-            active = [sid for sid, peek in enumerate(peeks)
-                      if peek != math.inf]
-            if not active:
-                return max(executed), rounds, tasks
-            # Idle skip across windows: start the next grant at the epoch
-            # holding the earliest pending event anywhere in the fleet.
-            start = max(index, math.floor(min(peeks[sid] for sid in active)
-                                          / epoch_us))
-            index = start + self.run_ahead
+            #: sid -> (until_us, sorted inbox, self_deliver)
+            grants: dict[int, tuple] = {}
+            active = [sid for sid in singles if peeks[sid] != math.inf]
+            if active:
+                # Idle skip across windows: start the next grant at the
+                # epoch holding the earliest pending event among the
+                # self-contained shards.
+                start = max(index,
+                            math.floor(min(peeks[sid] for sid in active)
+                                       / epoch_us))
+                index = start + self.run_ahead
+                for sid in active:
+                    grants[sid] = (index * epoch_us, [], True)
+            for grp in groups:
+                target = grp.next_barrier(peeks, epoch_us)
+                if target is None:
+                    continue
+                if grp.rounds > self.max_epochs:
+                    raise overrun
+                for sid, inbox in target.items():
+                    grants[sid] = (grp.position * epoch_us,
+                                   sorted(inbox, key=inbox_order), False)
+            if not grants:
+                return (max([executed[sid] for sid in singles]
+                            + [grp.rounds for grp in groups],
+                            default=0), rounds, tasks)
             rounds += 1
-            tasks += len(active)
-            results = backend.advance_subset(active, index * epoch_us,
-                                             self_deliver=True)
-            for sid, (outbound, peek, ran) in zip(active, results):
-                if outbound:  # pragma: no cover - guarded by _edges_shard_local
-                    raise RuntimeError(
-                        f"self-contained shard {sid} emitted a cross-shard "
-                        "replica message")
+            tasks += len(grants)
+            for sid in sorted(grants):
+                until_us, inbox, self_deliver = grants[sid]
+                transport.post(sid, until_us, inbox, self_deliver)
+            for sid in sorted(grants):
+                outbound, peek, ran = transport.wait(sid)
+                peeks[sid] = peek
                 executed[sid] += ran
-                peeks[sid] = peek
-            if max(executed) > self.max_epochs:
-                raise RuntimeError(
-                    f"fleet {topology.name!r} exceeded {self.max_epochs} "
-                    f"epochs (epoch_us={epoch_us}); raise epoch_us or "
-                    "max_epochs")
+                if sid in single_set:
+                    if outbound:  # pragma: no cover - singleton guarantee
+                        raise RuntimeError(
+                            f"self-contained shard {sid} emitted a "
+                            "cross-shard replica message")
+                else:
+                    grp = group_of[sid]
+                    for message in outbound:
+                        # Affinity + coupling guarantee the target stays
+                        # inside this component.
+                        grp.pending[owner[message.target_index]].append(
+                            message)
+            if active and max(executed[sid] for sid in singles) \
+                    > self.max_epochs:
+                raise overrun
 
-    def _run_lockstep(self, topology: FleetTopology, plans, owner,
-                      backend) -> tuple[int, int]:
-        """The conservative epoch-barrier loop for partitions where a
-        replication edge spans shards.  Collected messages wait at the
-        coordinator until the barrier matching their ``delivery_epoch``;
-        every shard then receives them with its clock sitting exactly on
-        that barrier.  Returns ``(epochs, rounds)``."""
-        epoch_us = topology.epoch_us
-        pending: list[list[ReplicaMessage]] = [[] for _ in plans]
-        peeks = [0.0] * len(plans)
-        #: Barrier position as an *integer* epoch index.  The barrier time
-        #: is always computed as ``index * epoch_us`` -- the exact same
-        #: float-multiplication grid the replication hook quantizes
-        #: delivery times onto.  Accumulating ``barrier += epoch_us``
-        #: instead would drift off that grid for epochs not exactly
-        #: representable in binary, leaving a collected message's delivery
-        #: in the past.
-        position = 0
-        rounds = 0
-        while True:
-            handoff: list[list[ReplicaMessage]] = [[] for _ in plans]
-            future = math.inf
-            due = False
-            for sid, inbox in enumerate(pending):
-                keep = []
-                for message in inbox:
-                    if message.delivery_epoch == position:
-                        handoff[sid].append(message)
-                        due = True
-                    else:
-                        keep.append(message)
-                        if message.delivery_epoch < future:
-                            future = message.delivery_epoch
-                pending[sid] = keep
-            targets = []
-            if due:
-                # Deliveries inject at the current barrier; their writes
-                # start here, so the next window spans one epoch.
-                targets.append(position + 1)
-            if future != math.inf:
-                targets.append(int(future))
-            min_peek = min(peeks)
-            if min_peek != math.inf:
-                # Skip whole idle epochs: jump straight to the barrier just
-                # past the earliest pending event.  The advance window still
-                # spans at most one epoch of *activity*, so every emitted
-                # message remains deliverable at a future barrier.
-                targets.append(max(position + 1,
-                                   math.floor(min_peek / epoch_us) + 1))
-            if not targets:
-                return rounds, rounds
-            rounds += 1
-            if rounds > self.max_epochs:
-                raise RuntimeError(
-                    f"fleet {topology.name!r} exceeded {self.max_epochs} "
-                    f"epochs (epoch_us={epoch_us}); raise epoch_us or "
-                    "max_epochs")
-            position = min(targets)
-            results = backend.advance_all(
-                position * epoch_us,
-                [sorted(inbox, key=inbox_order) for inbox in handoff])
-            for sid, (outbound, peek, _ran) in enumerate(results):
-                peeks[sid] = peek
-                for message in outbound:
-                    pending[owner[message.target_index]].append(message)
+
+class _LockstepGroup:
+    """Barrier state for one multi-shard coupling component."""
+
+    def __init__(self, members: list[int]):
+        self.members = list(members)
+        self.pending: dict[int, list[ReplicaMessage]] = \
+            {sid: [] for sid in self.members}
+        #: Barrier position as an *integer* epoch index.  The barrier
+        #: time is always computed as ``position * epoch_us`` -- the
+        #: exact same float-multiplication grid the replication hook
+        #: quantizes delivery times onto.  Accumulating
+        #: ``barrier += epoch_us`` instead would drift off that grid for
+        #: epochs not exactly representable in binary, leaving a
+        #: collected message's delivery in the past.
+        self.position = 0
+        self.rounds = 0
+        self.done = False
+
+    def next_barrier(self, peeks: list[float], epoch_us: float,
+                     ) -> Optional[dict[int, list[ReplicaMessage]]]:
+        """Advance the component's barrier and return the per-member
+        handoff (messages due exactly at the *previous* barrier, where
+        every member clock now sits), or ``None`` once the component is
+        fully drained."""
+        if self.done:
+            return None
+        handoff: dict[int, list[ReplicaMessage]] = \
+            {sid: [] for sid in self.members}
+        future = math.inf
+        due = False
+        for sid in self.members:
+            keep = []
+            for message in self.pending[sid]:
+                if message.delivery_epoch == self.position:
+                    handoff[sid].append(message)
+                    due = True
+                else:
+                    keep.append(message)
+                    if message.delivery_epoch < future:
+                        future = message.delivery_epoch
+            self.pending[sid] = keep
+        targets = []
+        if due:
+            # Deliveries inject at the current barrier; their writes
+            # start here, so the next window spans one epoch.
+            targets.append(self.position + 1)
+        if future != math.inf:
+            targets.append(int(future))
+        min_peek = min(peeks[sid] for sid in self.members)
+        if min_peek != math.inf:
+            # Skip whole idle epochs: jump straight to the barrier just
+            # past the earliest pending event.  The advance window still
+            # spans at most one epoch of *activity*, so every emitted
+            # message remains deliverable at a future barrier.
+            targets.append(max(self.position + 1,
+                               math.floor(min_peek / epoch_us) + 1))
+        if not targets:
+            self.done = True
+            return None
+        self.position = min(targets)
+        self.rounds += 1
+        return handoff
+
+
+def run_fleet(topology: FleetTopology,
+              config: Optional[FleetRunConfig] = None,
+              **overrides: Any) -> dict[str, Any]:
+    """Run ``topology`` under ``config`` (plus keyword overrides) and
+    return the merged metrics payload -- the one-call entry point."""
+    config = (config if config is not None else FleetRunConfig())
+    return FleetCoordinator(config=config.merged(**overrides)).run(topology)
 
 
 def run_fleet_serial(topology: FleetTopology) -> dict[str, Any]:

@@ -39,6 +39,8 @@ from repro.config.schema import (
     cell_from_document,
     cell_to_document,
     document_kind,
+    run_config_from_document,
+    run_config_to_document,
     scenario_for_document,
     scenario_from_document,
     scenario_to_document,
@@ -54,6 +56,8 @@ __all__ = [
     "document_kind",
     "load_document",
     "parse_document_text",
+    "run_config_from_document",
+    "run_config_to_document",
     "scan_scenario_dirs",
     "scenario_for_document",
     "scenario_from_document",

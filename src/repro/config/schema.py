@@ -32,6 +32,8 @@ __all__ = [
     "cell_from_document",
     "cell_to_document",
     "document_kind",
+    "run_config_from_document",
+    "run_config_to_document",
     "scenario_for_document",
     "scenario_from_document",
     "scenario_to_document",
@@ -198,9 +200,9 @@ def _check_device_params(params: Mapping[str, Any], device: str,
 # ---------------------------------------------------------------------------
 
 #: Meta keys tolerated on a *standalone* fleet document: they feed the
-#: wrapper scenario built by :func:`scenario_for_document`, not the
-#: topology itself.
-_TOPOLOGY_META_KEYS = ("kind", "description", "tags")
+#: wrapper scenario built by :func:`scenario_for_document` (``run`` maps
+#: to a :class:`~repro.cluster.FleetRunConfig`), not the topology itself.
+_TOPOLOGY_META_KEYS = ("kind", "description", "tags", "run")
 
 _GROUP_KEYS = ("name", "device", "count", "capacity_bytes", "device_params",
                "preload", "mode")
@@ -455,6 +457,50 @@ def topology_from_document(document: Any, *, path: str = "fleet"):
 
 
 # ---------------------------------------------------------------------------
+# Run-config documents (the ``run:`` block)
+# ---------------------------------------------------------------------------
+
+_RUN_CONFIG_KEYS = ("shards", "run_ahead", "epoch_us", "transport",
+                    "spin_budget", "processes", "max_epochs")
+
+
+def run_config_to_document(config) -> dict:
+    """The document form of a :class:`~repro.cluster.FleetRunConfig`:
+    non-default fields only, so the round trip is exact."""
+    return dict(config.to_pairs())
+
+
+def run_config_from_document(document: Any, *, path: str = "run"):
+    """Build a validated :class:`~repro.cluster.FleetRunConfig` from the
+    ``run:`` block of a fleet/scenario/cell document."""
+    from repro.cluster.transport import TRANSPORTS, FleetRunConfig
+
+    document = _as_mapping(document, path)
+    _check_keys(document, path, _RUN_CONFIG_KEYS)
+    fields: dict[str, Any] = {}
+    for key, value in document.items():
+        key_path = f"{path}.{key}"
+        if key in ("shards", "run_ahead", "max_epochs"):
+            fields[key] = _as_positive_int(value, key_path)
+        elif key == "epoch_us":
+            if value is not None:
+                value = _as_number(value, key_path, positive=True)
+            fields[key] = value
+        elif key == "transport":
+            fields[key] = _as_str(value, key_path, choices=TRANSPORTS)
+        elif key == "spin_budget":
+            fields[key] = _as_int(value, key_path, minimum=0)
+        elif key == "processes":
+            if value is not None:
+                value = _as_bool(value, key_path)
+            fields[key] = value
+    try:
+        return FleetRunConfig(**fields)
+    except ValueError as error:
+        raise ConfigError(path, str(error)) from None
+
+
+# ---------------------------------------------------------------------------
 # Cell documents
 # ---------------------------------------------------------------------------
 
@@ -561,6 +607,8 @@ def cell_to_document(cell, *, kind: Optional[str] = "cell") -> dict:
                 FleetTopology.from_json(value), kind=None)
         elif field.name == "faults":
             document[field.name] = _faults_to_document(value)
+        elif field.name == "fleet_run":
+            document[field.name] = dict(value)
         else:
             document[field.name] = value
     return document
@@ -592,6 +640,9 @@ def cell_from_document(document: Any, *, path: str = "cell"):
             fields[key] = topology_from_document(value, path=key_path).canonical()
         elif key == "faults":
             fields[key] = _faults_from_document(value, key_path)
+        elif key == "fleet_run":
+            fields[key] = run_config_from_document(
+                value, path=key_path).to_pairs()
         elif key in ("io_size", "queue_depth"):
             fields[key] = _as_positive_int(value, key_path)
         elif key in ("io_count", "total_bytes",
@@ -638,14 +689,14 @@ def cell_from_document(document: Any, *, path: str = "cell"):
 # ---------------------------------------------------------------------------
 
 _SCENARIO_KEYS = ("kind", "name", "description", "devices", "base", "grid",
-                  "streams", "fleet", "seed", "seed_mode", "tags")
+                  "streams", "fleet", "run", "seed", "seed_mode", "tags")
 
 
 def _base_fields() -> tuple[str, ...]:
     """Keys a scenario ``base`` mapping may set: every cell field that is
     not reserved for the expansion machinery, plus the two params
     mappings."""
-    reserved = ("labels", "streams", "fleet")
+    reserved = ("labels", "streams", "fleet", "fleet_run")
     return tuple(name for name in _cell_fields() if name not in reserved)
 
 
@@ -697,6 +748,8 @@ def scenario_to_document(spec) -> dict:
     if spec.fleet is not None:
         document["fleet"] = topology_to_document(
             FleetTopology.from_json(spec.fleet), kind=None)
+    if spec.fleet_run:
+        document["run"] = dict(spec.fleet_run)
     if spec.seed != 17:
         document["seed"] = spec.seed
     if spec.seed_mode != "fixed":
@@ -722,6 +775,13 @@ def scenario_from_document(document: Any, *, path: str = "scenario"):
     fleet = document.get("fleet")
     if fleet is not None:
         fleet = topology_from_document(fleet, path=f"{path}.fleet")
+
+    run = document.get("run")
+    if run is not None:
+        if fleet is None:
+            raise ConfigError(f"{path}.run",
+                              "a run block requires a fleet topology")
+        run = run_config_from_document(run, path=f"{path}.run")
 
     if "devices" in document:
         devices = [_as_str(entry, f"{path}.devices[{index}]")
@@ -767,7 +827,7 @@ def scenario_from_document(document: Any, *, path: str = "scenario"):
             name=name, description=description, devices=devices, base=base,
             grid=grid,
             streams={stream: dict(overrides) for stream, overrides in streams},
-            fleet=fleet, seed=seed, seed_mode=seed_mode, tags=tags)
+            fleet=fleet, run=run, seed=seed, seed_mode=seed_mode, tags=tags)
     except ValueError as error:
         raise ConfigError(path, str(error)) from None
 
@@ -819,6 +879,9 @@ def scenario_for_document(document: Any, *, path: str = "document"):
     description = document.get("description") or \
         f"user fleet {topology.name!r} (config document)"
     description = _as_str(description, f"{path}.description")
+    run = document.get("run")
+    if run is not None:
+        run = run_config_from_document(run, path=f"{path}.run")
     tags = [_as_str(entry, f"{path}.tags[{index}]")
             for index, entry in enumerate(
                 _as_list(document.get("tags", []), f"{path}.tags"))]
@@ -827,4 +890,4 @@ def scenario_for_document(document: Any, *, path: str = "document"):
     if "config" not in tags:
         tags.append("config")
     return scenario(name=topology.name, description=description,
-                    devices=("fleet",), fleet=topology, tags=tags)
+                    devices=("fleet",), fleet=topology, run=run, tags=tags)

@@ -15,9 +15,13 @@ under ``--cache-dir`` (default ``$REPRO_SWEEP_CACHE`` or ``.sweep-cache``),
 prints a metrics table, and optionally saves the whole sweep to ``--out``;
 ``--shards N`` additionally shards any fleet cells inside the pool.
 ``fleet`` runs a fleet scenario through the sharded cluster layer
-(:mod:`repro.cluster`) with the same result caching: ``--shards 1`` is the
-serial reference path, any ``--shards N`` / ``--run-ahead K`` produces
-bit-identical fleet metrics (so neither enters the cache key). ``diff``
+(:mod:`repro.cluster`) with the same result caching: every
+``--shards`` / ``--transport`` / ``--run-ahead`` combination produces
+bit-identical fleet metrics (so none of them enters the cache key).
+Execution knobs merge into one :class:`repro.cluster.FleetRunConfig`:
+``--transport`` / ``--spin-budget`` override a document's ``run:`` block,
+while the deprecated ``--shards`` / ``--run-ahead`` / ``--epoch-us``
+aliases error (path-addressed, exit 2) when they contradict it. ``diff``
 compares two saved sweeps cell-by-cell.
 """
 
@@ -129,6 +133,47 @@ def _resolve_scenario(target: str):
         raise ValueError(error.args[0]) from None
 
 
+#: Deprecated-alias CLI flags that shadow FleetRunConfig fields.  When a
+#: scenario document's ``run:`` block sets the same field to a *different*
+#: value, the run is ambiguous and the CLI refuses it (exit 2) instead of
+#: silently picking a side.
+_FLEET_ALIAS_FLAGS = (("shards", "--shards"),
+                      ("run_ahead", "--run-ahead"),
+                      ("epoch_us", "--epoch-us"))
+
+
+def _alias_conflict(cell, args) -> Optional[str]:
+    """Path-addressed message for a CLI-flag / document ``run:`` clash."""
+    document = dict(cell.fleet_run)
+    for field, flag in _FLEET_ALIAS_FLAGS:
+        cli_value = getattr(args, field, None)
+        if cli_value is None or field not in document:
+            continue
+        if document[field] == cli_value:
+            continue
+        return (f"run.{field}: {flag} {cli_value} contradicts the scenario "
+                f"document's run.{field} = {document[field]} (drop the "
+                f"deprecated flag or edit the document)")
+    return None
+
+
+def _cli_fleet_overrides(args, serial_is_local: bool = False) -> dict:
+    """Explicitly-set fleet-execution CLI flags as FleetRunConfig fields.
+
+    ``serial_is_local`` is the ``fleet`` verb's reading of ``--serial``
+    (keep shards in-process); ``run``/``serve`` use ``--serial`` for the
+    sweep pool instead, so they leave fleet transport resolution alone.
+    """
+    overrides = {}
+    for field in ("shards", "run_ahead", "transport", "spin_budget"):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    if serial_is_local and getattr(args, "serial", False):
+        overrides["processes"] = False
+    return overrides
+
+
 def _cmd_run(args) -> int:
     try:
         spec = _resolve_scenario(args.scenario)
@@ -149,13 +194,26 @@ def _cmd_run(args) -> int:
     if not cells:
         print(f"scenario {spec.name!r} has no cells")
         return 1
+    for cell in cells:
+        conflict = _alias_conflict(cell, args)
+        if conflict:
+            print(f"error: {conflict}", file=sys.stderr)
+            return 2
+    from repro.cluster import FleetRunConfig
+
+    overrides = _cli_fleet_overrides(args)
+    try:
+        fleet_config = FleetRunConfig(**overrides) if overrides else None
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     runner = SweepRunner(
         parallel=not args.serial,
         max_workers=args.workers,
         cache_dir=None if args.no_cache
         else (args.cache_dir or default_cache_dir()),
         force=args.force,
-        fleet_shards=args.shards,
+        fleet_config=fleet_config,
     )
     started = time.monotonic()
     result = runner.run_cells(spec.name, cells)
@@ -216,11 +274,11 @@ def _cmd_fleet(args) -> int:
         return 2
     cache = None if args.no_cache \
         else SweepCache(args.cache_dir or default_cache_dir())
-    coordinator_kwargs = {"shards": args.shards,
-                          "processes": None if not args.serial else False}
-    if args.run_ahead is not None:
-        coordinator_kwargs["run_ahead"] = args.run_ahead
-    coordinator = FleetCoordinator(**coordinator_kwargs)
+    if args.serial and args.transport not in (None, "auto", "local"):
+        print(f"error: --serial contradicts --transport {args.transport} "
+              f"(drop one)", file=sys.stderr)
+        return 2
+    cli_overrides = _cli_fleet_overrides(args, serial_is_local=True)
     reports = []
     fault_changes = {}
     if args.faults is not None:
@@ -249,6 +307,16 @@ def _cmd_fleet(args) -> int:
             name, _, mode = entry.partition("=")
             macro_modes[name] = mode or "macro"
     for cell in fleet_cells:
+        conflict = _alias_conflict(cell, args)
+        if conflict:
+            print(f"error: {conflict}", file=sys.stderr)
+            return 2
+        try:
+            run_config = cell.run_config().merged(**cli_overrides)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        coordinator = FleetCoordinator(config=run_config)
         if args.epoch_us is not None or fault_changes or macro_modes:
             # Fold the overrides into the cell so the cache key sees them (a
             # different synchronization window, fault schedule, or group
@@ -323,7 +391,8 @@ def _cmd_fleet(args) -> int:
             print("runtime: cached result (use --force to re-run)")
         else:
             print(f"runtime: {runtime['shards']} shard(s) "
-                  f"({runtime['mode']}), {runtime['epochs']} epochs, "
+                  f"({runtime['mode']}, {runtime['transport']} transport), "
+                  f"{runtime['epochs']} epochs, "
                   f"{runtime['coordinator_rounds']} coordinator round(s), "
                   f"{runtime['wall_s']:.2f}s wall, "
                   f"{runtime['events_per_sec']:.0f} events/s")
@@ -420,12 +489,20 @@ def _cmd_serve(args) -> int:
         print(f"error: {problem}", file=sys.stderr)
         return 2
     _print_scan_warnings()
+    from repro.cluster import FleetRunConfig
+
+    overrides = _cli_fleet_overrides(args)
+    try:
+        fleet_config = FleetRunConfig(**overrides) if overrides else None
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     server = ExperimentServer(
         socket_path=args.socket, host=args.host, port=args.port,
         max_pending=args.max_pending, job_workers=args.job_workers,
         cache_dir=args.cache_dir, no_cache=args.no_cache,
         parallel=not args.serial, sweep_workers=args.workers,
-        fleet_shards=args.shards)
+        fleet_config=fleet_config)
     try:
         server.start()
     except OSError as error:
@@ -546,9 +623,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="run cells in-process instead of worker processes")
     run_parser.add_argument("--workers", type=int, default=None,
                             help="worker-process count (default: CPU count)")
-    run_parser.add_argument("--shards", type=int, default=1,
+    run_parser.add_argument("--shards", type=int, default=None,
                             help="shard count applied to fleet cells "
-                                 "(nested inside the sweep pool)")
+                                 "(nested inside the sweep pool); errors if "
+                                 "a document's run: block disagrees")
+    run_parser.add_argument("--transport", default=None,
+                            choices=["auto", "local", "executor", "shm"],
+                            help="shard transport for fleet cells (default "
+                                 "auto: shared memory on multi-core hosts)")
     run_parser.add_argument("--cache-dir", default=None,
                             help="result-cache directory (default: "
                                  "$REPRO_SWEEP_CACHE or .sweep-cache)")
@@ -565,12 +647,25 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser = sub.add_parser(
         "fleet", help="run a fleet scenario on the sharded cluster runner")
     fleet_parser.add_argument("scenario")
-    fleet_parser.add_argument("--shards", type=int, default=1,
+    fleet_parser.add_argument("--shards", type=int, default=None,
                               help="shard-simulator count (default 1: the "
-                                   "serial reference path)")
+                                   "serial reference path); deprecated "
+                                   "alias for a run: block / FleetRunConfig "
+                                   "-- errors if a document disagrees")
     fleet_parser.add_argument("--serial", action="store_true",
                               help="keep all shards in-process (no worker "
                                    "processes), whatever --shards says")
+    fleet_parser.add_argument("--transport", default=None,
+                              choices=["auto", "local", "executor", "shm"],
+                              help="shard transport: shm (shared-memory "
+                                   "rings), executor (pickle/executor "
+                                   "baseline), local (in-process), or auto "
+                                   "(default: shm when multi-core worker "
+                                   "processes are in play)")
+    fleet_parser.add_argument("--spin-budget", type=int, default=None,
+                              help="shm transport: hot-spin iterations "
+                                   "before a waiter starts sleeping "
+                                   "(default 2000)")
     fleet_parser.add_argument("--epoch-us", type=float, default=None,
                               help="override the topology's conservative "
                                    "synchronization window")
@@ -651,8 +746,11 @@ def build_parser() -> argparse.ArgumentParser:
                                    "processes")
     serve_parser.add_argument("--workers", type=int, default=None,
                               help="sweep worker-process count")
-    serve_parser.add_argument("--shards", type=int, default=1,
+    serve_parser.add_argument("--shards", type=int, default=None,
                               help="shard count applied to fleet cells")
+    serve_parser.add_argument("--transport", default=None,
+                              choices=["auto", "local", "executor", "shm"],
+                              help="shard transport for fleet cells")
     serve_parser.set_defaults(func=_cmd_serve)
 
     submit_parser = sub.add_parser(

@@ -81,6 +81,10 @@ class ScenarioSpec:
     #: ``fleet.<group-or-tenant>.<field>`` a group field / tenant workload
     #: knob -- that is how a sweep explores fleet *shape* axes.
     fleet: Optional[str] = None
+    #: Fleet execution knobs as the sorted non-default pairs of a
+    #: :class:`repro.cluster.FleetRunConfig` (the document ``run:`` block).
+    #: Execution only -- never part of a cell's cache key.
+    fleet_run: tuple[tuple[str, Any], ...] = ()
     seed: int = 17
     #: "fixed" uses ``seed`` for every cell (paper-figure behaviour);
     #: "derived" derives a per-cell seed from the grid point, so no two cells
@@ -140,6 +144,8 @@ class ScenarioSpec:
                     # override (bad group field, broken invariant) fails at
                     # expansion time, not inside a worker process.
                     fields["fleet"] = _canonical_fleet(payload)
+                    if self.fleet_run:
+                        fields.setdefault("fleet_run", self.fleet_run)
                 if stream_overrides:
                     fields["streams"] = tuple(sorted(
                         (name, tuple(sorted(overrides.items())))
@@ -249,11 +255,26 @@ def _canonical_fleet(fleet: Any) -> Optional[str]:
     return FleetTopology.from_payload(fleet).canonical()
 
 
+def _canonical_run(run: Any) -> tuple:
+    """Normalise a run-config argument (``FleetRunConfig`` / mapping /
+    pairs / ``None``) to the sorted non-default pairs stored on the spec."""
+    if run is None:
+        return ()
+    from repro.cluster import FleetRunConfig
+
+    if isinstance(run, FleetRunConfig):
+        return run.to_pairs()
+    if isinstance(run, Mapping):
+        return FleetRunConfig(**dict(run)).to_pairs()
+    return FleetRunConfig.from_pairs(run).to_pairs()
+
+
 def scenario(name: str, description: str, devices: Sequence[str],
              base: Optional[Mapping[str, Any]] = None,
              grid: Optional[Mapping[str, Sequence[Any]]] = None,
              streams: Optional[Mapping[str, Mapping[str, Any]]] = None,
              fleet: Any = None,
+             run: Any = None,
              seed: int = 17, seed_mode: str = "fixed",
              tags: Sequence[str] = (),
              cell_builder: Optional[Callable[[], list[CellSpec]]] = None,
@@ -271,6 +292,7 @@ def scenario(name: str, description: str, devices: Sequence[str],
             (stream_name, tuple(sorted(overrides.items())))
             for stream_name, overrides in (streams or {}).items())),
         fleet=_canonical_fleet(fleet),
+        fleet_run=_canonical_run(run),
         seed=seed,
         seed_mode=seed_mode,
         tags=tuple(tags),

@@ -181,6 +181,12 @@ class CellSpec:
     #: sharded runs are bit-identical to serial ones, so any layout may
     #: serve a cached result.
     fleet_shards: int = 1
+    #: Fleet execution knobs as the sorted non-default pairs of a
+    #: :class:`repro.cluster.FleetRunConfig` (``run:`` block in documents,
+    #: ``SweepRunner(fleet_config=...)``).  Supersedes ``fleet_shards``
+    #: (kept as a deprecated alias).  Excluded from the cache key like
+    #: ``fleet_shards``: every transport/layout is bit-identical.
+    fleet_run: tuple = ()
     #: Free-form labels carried through to the result (not part of the job).
     labels: tuple = ()
 
@@ -193,6 +199,7 @@ class CellSpec:
             [name, [list(pair) for pair in overrides]]
             for name, overrides in self.streams
         ]
+        payload["fleet_run"] = [list(pair) for pair in self.fleet_run]
         return payload
 
     @classmethod
@@ -204,7 +211,20 @@ class CellSpec:
         data["streams"] = tuple(
             (name, tuple(tuple(pair) for pair in overrides))
             for name, overrides in data.get("streams", ()))
+        data["fleet_run"] = tuple(tuple(pair)
+                                  for pair in data.get("fleet_run", ()))
         return cls(**data)
+
+    def run_config(self):
+        """The cell's :class:`repro.cluster.FleetRunConfig`: ``fleet_run``
+        pairs, with the deprecated ``fleet_shards`` alias folded in when
+        the pairs do not set a shard count themselves."""
+        from repro.cluster import FleetRunConfig
+
+        config = FleetRunConfig.from_pairs(self.fleet_run)
+        if self.fleet_shards > 1 and "shards" not in dict(self.fleet_run):
+            config = config.merged(shards=self.fleet_shards)
+        return config
 
     def stream_specs(self) -> list[tuple[str, dict[str, Any]]]:
         """The streams as ``(name, overrides-dict)`` pairs (run order)."""
@@ -228,11 +248,18 @@ class CellSpec:
     def cache_key(self) -> str:
         # Labels are cosmetic (display/lookup only); excluding them keeps the
         # cache warm across label renames and lets diff_results align cells
-        # with identical physics.  fleet_shards is an execution detail: the
-        # cluster layer guarantees bit-identical metrics for every layout.
+        # with identical physics.  fleet_shards / fleet_run are execution
+        # details: the cluster layer guarantees bit-identical metrics for
+        # every layout and transport.
         payload = self.to_payload()
         payload.pop("labels")
         payload.pop("fleet_shards")
+        run_pairs = dict(tuple(pair) for pair in payload.pop("fleet_run"))
+        if "epoch_us" in run_pairs:
+            # The one fleet_run field that is physics, not layout: the
+            # coordinator rescales the topology's synchronization grid, so
+            # a different epoch is a different experiment.
+            payload["epoch_us_override"] = run_pairs["epoch_us"]
         return spec_hash({"version": CACHE_VERSION,
                           "models": model_fingerprint(),
                           "cell": payload})
@@ -379,11 +406,14 @@ def fleet_cell_metrics(payload: Mapping[str, Any]) -> dict[str, Any]:
 def _run_fleet_cell(cell: CellSpec) -> dict[str, Any]:
     """Execute a fleet cell through the cluster layer.
 
-    ``cell.fleet_shards=1`` (the default) runs the fleet in one in-process
-    shard -- the sweep pool already parallelises across cells.  A larger
-    value shards the fleet across dedicated worker processes *inside* the
-    pool worker (``ProcessPoolExecutor`` workers are non-daemonic, so both
-    levels of parallelism nest); results are bit-identical either way.
+    ``cell.run_config()`` (the ``fleet_run`` pairs, with the deprecated
+    ``fleet_shards`` alias folded in) picks the shard count, transport,
+    and run-ahead window.  The default runs the fleet in one in-process
+    shard -- the sweep pool already parallelises across cells.  Sharded
+    cells nest dedicated worker processes *inside* the pool worker
+    (``ProcessPoolExecutor`` workers are non-daemonic, so both levels of
+    parallelism nest); results are bit-identical for every layout and
+    transport.
     """
     from repro.cluster import FleetCoordinator, FleetTopology
 
@@ -393,8 +423,7 @@ def _run_fleet_cell(cell: CellSpec) -> dict[str, Any]:
 
         events, policy = parse_fault_spec(cell.faults)
         topology = topology.scaled(faults=events, fault_policy=policy)
-    shards = max(1, cell.fleet_shards)
-    payload = FleetCoordinator(shards=shards, processes=shards > 1).run(topology)
+    payload = FleetCoordinator(config=cell.run_config()).run(topology)
     return fleet_cell_metrics(payload)
 
 
@@ -749,26 +778,52 @@ class SweepRunner:
         Directory for the JSON result cache; ``None`` disables caching.
     force:
         Ignore cached results and re-run every cell.
+    fleet_config:
+        A :class:`repro.cluster.FleetRunConfig` applied to every fleet
+        cell (nested inside the sweep pool's cell-level parallelism).
+        Fields a cell's own ``fleet_run`` pairs set win over the runner's.
+        Metrics are bit-identical for every layout and transport, so
+        caching is unaffected.
     fleet_shards:
-        Shard count applied to every fleet cell (nested inside the sweep
-        pool's cell-level parallelism).  Metrics are bit-identical to the
-        serial layout, so caching is unaffected.
+        Deprecated alias for ``fleet_config=FleetRunConfig(shards=N)``.
     """
 
     def __init__(self, parallel: bool = False, max_workers: Optional[int] = None,
                  cache_dir: Optional[str | Path] = None, force: bool = False,
-                 fleet_shards: int = 1):
+                 fleet_shards: int = 1, fleet_config=None):
         self.parallel = parallel
         self.max_workers = max_workers
         self.cache = SweepCache(cache_dir) if cache_dir is not None else None
         self.force = force
         self.fleet_shards = fleet_shards
+        self.fleet_config = fleet_config
+
+    def _fleet_pairs(self) -> tuple:
+        """The runner-level ``fleet_run`` pairs: ``fleet_config`` plus the
+        deprecated ``fleet_shards`` alias (explicit config wins)."""
+        pairs = {} if self.fleet_config is None \
+            else dict(self.fleet_config.to_pairs())
+        if self.fleet_shards > 1:
+            pairs.setdefault("shards", self.fleet_shards)
+        return tuple(sorted(pairs.items()))
 
     def run_cells(self, scenario: str, cells: Sequence[CellSpec]) -> SweepResult:
         """Run (or load from cache) every cell and return the sweep result."""
-        if self.fleet_shards > 1:
-            cells = [replace(cell, fleet_shards=self.fleet_shards)
-                     if cell.fleet is not None else cell for cell in cells]
+        runner_pairs = self._fleet_pairs()
+        if runner_pairs:
+            # Per-cell pairs (from a document's run: block) win field by
+            # field over the runner-level config.  The deprecated
+            # fleet_shards field mirrors the merged shard count so
+            # pre-transport callers keep seeing it.
+            def apply_runner_config(cell: CellSpec) -> CellSpec:
+                if cell.fleet is None:
+                    return cell
+                merged = {**dict(runner_pairs), **dict(cell.fleet_run)}
+                return replace(
+                    cell, fleet_run=tuple(sorted(merged.items())),
+                    fleet_shards=merged.get("shards", cell.fleet_shards))
+
+            cells = [apply_runner_config(cell) for cell in cells]
         result = SweepResult(scenario=scenario)
         outcomes: list[Optional[CellOutcome]] = [None] * len(cells)
         pending: list[tuple[int, CellSpec]] = []

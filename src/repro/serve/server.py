@@ -77,7 +77,8 @@ class ExperimentServer:
     :meth:`start`).  ``max_pending`` bounds the *queued* (not yet running)
     jobs; submissions beyond it are rejected with a reason.  ``job_workers``
     is the number of concurrently running jobs.  Runner knobs (``parallel``,
-    ``sweep_workers``, ``cache_dir``, ``fleet_shards``) mirror the batch
+    ``sweep_workers``, ``cache_dir``, ``fleet_config`` -- with
+    ``fleet_shards`` as its deprecated shard-count alias) mirror the batch
     CLI's flags; ``cache_dir=None`` resolves ``$REPRO_SWEEP_CACHE`` exactly
     like ``run``/``fleet`` do.
     """
@@ -87,7 +88,8 @@ class ExperimentServer:
                  max_pending: int = 8, job_workers: int = 1,
                  cache_dir: Optional[Union[str, Path]] = None,
                  no_cache: bool = False, parallel: bool = False,
-                 sweep_workers: Optional[int] = None, fleet_shards: int = 1):
+                 sweep_workers: Optional[int] = None, fleet_shards: int = 1,
+                 fleet_config=None):
         if (socket_path is None) == (port is None):
             raise ValueError("pass exactly one of socket_path / port")
         if max_pending < 0:
@@ -103,6 +105,7 @@ class ExperimentServer:
             "cache_dir": None if no_cache else cache_dir,
             "no_cache": no_cache,
             "fleet_shards": fleet_shards,
+            "fleet_config": fleet_config,
         }
         self._stop = threading.Event()
         self._listener: Optional[socket.socket] = None

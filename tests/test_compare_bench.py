@@ -9,7 +9,8 @@ from benchmarks import compare_bench
 
 def write_artifacts(directory, kernel_speedups, batched_tasks=40.0,
                     task_cut=11.0, macro_errs=(0.01, 0.03, 0.04),
-                    macro_speedup=50.0):
+                    macro_speedup=50.0, shm_speedup_2=1.5,
+                    shm_efficiency_4=0.8, scaling_informational=False):
     immediate, mixed, timer, roundtrip = kernel_speedups
     (directory / "BENCH_kernel.json").write_text(json.dumps({
         "events_per_sec": {
@@ -23,6 +24,16 @@ def write_artifacts(directory, kernel_speedups, batched_tasks=40.0,
         "coordination": {
             "task_cut": task_cut,
             "variants": {"batched": {"tasks_per_sim_second": batched_tasks}},
+        },
+        "shards": {
+            "2": {"by_transport": {"shm": {
+                "speedup_vs_serial": shm_speedup_2,
+                "scaling_informational": scaling_informational,
+            }}},
+            "4": {"by_transport": {"shm": {
+                "scaling_efficiency": shm_efficiency_4,
+                "scaling_informational": scaling_informational,
+            }}},
         },
     }))
     p50_err, p95_err, throughput_err = macro_errs
@@ -112,7 +123,8 @@ def test_missing_current_artifact_fails_loudly(dirs):
     baseline, current = dirs
     write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
     rows, regressions = compare_bench.compare(baseline, current, 0.10)
-    assert regressions == len(compare_bench.TRACKED)
+    assert regressions == len(compare_bench.TRACKED) + \
+        len(compare_bench.FLOORS)
     assert all(row["status"] == "MISSING" for row in rows)
 
 
@@ -131,7 +143,38 @@ def test_missing_baseline_metric_reports_new_and_passes(dirs):
     write_artifacts(current, (3.0, 2.6, 2.7, 1.4))
     rows, regressions = compare_bench.compare(baseline, current, 0.10)
     assert regressions == 0
-    assert all(row["status"] == "new" for row in rows)
+    # Relative gates report "new"; the absolute floors need no baseline
+    # and gate (or pass) on the fixed target regardless.
+    tracked = rows[:len(compare_bench.TRACKED)]
+    floors = rows[len(compare_bench.TRACKED):]
+    assert all(row["status"] == "new" for row in tracked)
+    assert all(row["status"] == "ok" for row in floors)
+
+
+def test_scaling_floor_gates_capable_hosts(dirs):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
+    # A multi-core host (informational flag off) that lost its scaling:
+    # efficiency 0.4 is below the 0.7 floor.
+    write_artifacts(current, (3.0, 2.6, 2.7, 1.4), shm_efficiency_4=0.4)
+    rows, regressions = compare_bench.compare(baseline, current, 0.10)
+    assert regressions == 1
+    bad = [row for row in rows if row["status"] == "BELOW-FLOOR"]
+    assert len(bad) == 1
+    assert bad[0]["metric"].endswith("shm.scaling_efficiency")
+
+
+def test_scaling_floor_is_informational_on_small_hosts(dirs):
+    baseline, current = dirs
+    write_artifacts(baseline, (3.0, 2.6, 2.7, 1.4))
+    # The same terrible numbers, but the artifact says cpu_count < shards:
+    # the floor reports info-only instead of failing the 1-core runner.
+    write_artifacts(current, (3.0, 2.6, 2.7, 1.4), shm_efficiency_4=0.1,
+                    shm_speedup_2=0.3, scaling_informational=True)
+    rows, regressions = compare_bench.compare(baseline, current, 0.10)
+    assert regressions == 0
+    info = [row for row in rows if row["status"] == "info-only"]
+    assert len(info) == len(compare_bench.FLOORS)
 
 
 def test_summary_markdown_is_appended(dirs, tmp_path):

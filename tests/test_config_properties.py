@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 from repro.cluster import (
     FaultEvent,
     FaultPolicy,
+    FleetRunConfig,
     FleetTopology,
     edge,
     fleet,
@@ -26,6 +27,8 @@ from repro.cluster import (
 from repro.config import (
     cell_from_document,
     cell_to_document,
+    run_config_from_document,
+    run_config_to_document,
     scenario_from_document,
     scenario_to_document,
     topology_from_document,
@@ -114,6 +117,41 @@ def test_topology_document_round_trip(topology):
 
 
 @st.composite
+def run_configs(draw) -> FleetRunConfig:
+    fields = {}
+    if draw(st.booleans()):
+        fields["shards"] = draw(st.integers(min_value=1, max_value=8))
+    if draw(st.booleans()):
+        fields["run_ahead"] = draw(st.integers(min_value=1, max_value=64))
+    if draw(st.booleans()):
+        fields["epoch_us"] = draw(st.sampled_from([250.0, 500.0, 1000.0]))
+    if draw(st.booleans()):
+        fields["transport"] = draw(st.sampled_from(
+            ["auto", "local", "executor", "shm"]))
+    if draw(st.booleans()):
+        fields["spin_budget"] = draw(st.integers(min_value=0,
+                                                 max_value=10_000))
+    if draw(st.booleans()):
+        fields["processes"] = draw(st.booleans())
+    if draw(st.booleans()):
+        fields["max_epochs"] = draw(st.integers(min_value=1_000,
+                                                max_value=10**6))
+    return FleetRunConfig(**fields)
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=run_configs())
+def test_run_config_document_round_trip(config):
+    doc = json.loads(json.dumps(run_config_to_document(config)))
+    assert run_config_from_document(doc) == config
+    assert FleetRunConfig.from_document(doc) == config
+    # The document carries exactly the non-default fields, so the default
+    # config is the empty block and documents never pin incidental
+    # defaults.
+    assert sorted(doc) == [name for name, _ in config.to_pairs()]
+
+
+@st.composite
 def scenarios(draw):
     base = dict(draw(workloads))
     if draw(st.booleans()):
@@ -129,10 +167,12 @@ def scenarios(draw):
                             "queue_depth": draw(st.integers(min_value=1,
                                                             max_value=4))}
     topology = draw(st.one_of(st.none(), topologies()))
+    run = draw(st.one_of(st.none(), run_configs())) \
+        if topology is not None else None
     return scenario(
         draw(names), "property scenario",
         devices=("fleet",) if topology is not None else ("LOOP",),
-        base=base, grid=grid, streams=streams, fleet=topology,
+        base=base, grid=grid, streams=streams, fleet=topology, run=run,
         seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
         seed_mode=draw(st.sampled_from(["fixed", "derived"])),
         tags=tuple(draw(st.lists(st.sampled_from(["a", "b"]),
@@ -168,6 +208,8 @@ def cells(draw) -> CellSpec:
     if draw(st.booleans()):
         fields["fleet"] = draw(topologies()).canonical()
         fields["device"] = "fleet"
+        if draw(st.booleans()):
+            fields["fleet_run"] = draw(run_configs()).to_pairs()
     fields["labels"] = (("device", fields["device"]),)
     return CellSpec(**fields)
 
